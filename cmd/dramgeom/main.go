@@ -1,0 +1,42 @@
+// Command dramgeom prints the DRAM technology studies: the Fig 7 tile
+// sweep, the Fig 8 vault design space (optionally every feasible point with
+// -all), and the Table I design-point comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	silo "repro"
+)
+
+func main() {
+	all := flag.Bool("all", false, "print every feasible design, not just the envelope")
+	flag.Parse()
+
+	fmt.Println("Fig 7 — tile dimensions vs access latency and die area")
+	fmt.Printf("%-12s %10s %10s\n", "tile", "latency", "area")
+	for _, p := range silo.TileSweep() {
+		fmt.Printf("%-12s %9.3fx %9.3fx\n", p.Tile, p.Latency, p.Area)
+	}
+
+	fmt.Println("\nFig 8 — vault designs under the 4-die x 5mm² budget")
+	designs := silo.VaultEnvelope()
+	if *all {
+		designs = silo.EnumerateVaultDesigns()
+	}
+	fmt.Printf("%-8s %-10s %10s %10s %6s\n", "capacity", "tile", "ns", "mm²", "banks")
+	for _, d := range designs {
+		fmt.Printf("%-8s %-10s %10.2f %10.2f %6d\n",
+			fmt.Sprintf("%dMB", d.CapacityMB), d.Tile.String(), d.AccessNS(), d.AreaMM2(), d.Banks())
+	}
+
+	lo, co := silo.LatencyOptimizedVault(), silo.CapacityOptimizedVault()
+	fmt.Println("\nTable I — latency- vs capacity-optimized design points")
+	fmt.Printf("latency-optimized:  %s (%d cycles @2GHz)\n", lo, lo.AccessCycles(2))
+	fmt.Printf("capacity-optimized: %s (%d cycles @2GHz)\n", co, co.AccessCycles(2))
+	fmt.Printf("ratios (CO/LO): latency %.2fx, area efficiency %.2fx, tiles %.2fx\n",
+		co.AccessNS()/lo.AccessNS(),
+		co.Tile.AreaEfficiency()/lo.Tile.AreaEfficiency(),
+		float64(co.Tiles())/float64(lo.Tiles()))
+}

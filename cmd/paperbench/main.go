@@ -1,0 +1,62 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation. By default it runs in quick mode; -full uses paper-scale
+// measurement windows. -only selects a single experiment (e.g. -only fig10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use paper-scale measurement windows")
+	only := flag.String("only", "", "run a single experiment (fig1, fig2, fig3, fig4, fig7, fig8, table1, fig10, fig11, fig12, fig13, fig14, fig15, table6, fig16)")
+	flag.Parse()
+
+	mode := experiments.Quick()
+	if *full {
+		mode = experiments.Full()
+	}
+
+	runners := []struct {
+		name string
+		fn   func() string
+	}{
+		{"fig1", func() string { return experiments.Fig1(mode).String() }},
+		{"fig2", func() string { return experiments.Fig2(mode).String() }},
+		{"fig3", func() string { return experiments.Fig3(mode).String() }},
+		{"fig4", func() string { return experiments.Fig4(mode).String() }},
+		{"fig7", experiments.Fig7String},
+		{"fig8", func() string { return experiments.Fig8().String() }},
+		{"table1", experiments.Table1String},
+		{"fig10", func() string { return experiments.Fig10(mode).String() }},
+		{"fig11", func() string { return experiments.Fig11(mode).String() }},
+		{"fig12", func() string { return experiments.Fig12(mode).String() }},
+		{"fig13", func() string { return experiments.Fig13(mode).String() }},
+		{"fig14", func() string { return experiments.Fig14(mode).String() }},
+		{"fig15", func() string { return experiments.Fig15(mode).String() }},
+		{"table6", func() string { return experiments.Table6(mode).String() }},
+		{"fig16", func() string { return experiments.Fig16(mode).String() }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if *only != "" && !strings.EqualFold(*only, r.name) {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		out := r.fn()
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

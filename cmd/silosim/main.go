@@ -1,0 +1,77 @@
+// Command silosim runs one system x workload simulation and prints its
+// metrics. Example:
+//
+//	silosim -system silo -workload MapReduce -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	silo "repro"
+)
+
+func main() {
+	system := flag.String("system", "silo", "baseline | baseline+dram | silo | silo-co | vaults-sh")
+	name := flag.String("workload", "WebSearch", "workload name (scale-out, enterprise, or SPEC2006)")
+	cores := flag.Int("cores", 16, "core count (1-32, powers of two)")
+	warmInstr := flag.Int("warm-instr", 300_000, "functional warm-up instructions per core")
+	warm := flag.Uint64("warm-cycles", 20_000, "timed warm-up cycles")
+	measure := flag.Uint64("measure-cycles", 60_000, "measured cycles")
+	flag.Parse()
+
+	var cfg silo.Config
+	switch strings.ToLower(*system) {
+	case "baseline":
+		cfg = silo.BaselineConfig(*cores)
+	case "baseline+dram", "dram":
+		cfg = silo.BaselineDRAMConfig(*cores)
+	case "silo":
+		cfg = silo.SILOConfig(*cores)
+	case "silo-co":
+		cfg = silo.SILOCOConfig(*cores)
+	case "vaults-sh":
+		cfg = silo.VaultsSharedConfig(*cores)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	spec, ok := findWorkload(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	sys := silo.NewSystem(cfg, spec)
+	sys.Prewarm()
+	sys.WarmFunctional(*warmInstr)
+	m := sys.Run(silo.Cycle(*warm), silo.Cycle(*measure))
+
+	s := m.Stats
+	fmt.Printf("system=%s workload=%s cores=%d\n", cfg.Kind, spec.Name, *cores)
+	fmt.Printf("  IPC (aggregate):   %.3f\n", m.IPC())
+	fmt.Printf("  LLC accesses:      %d (hit rate %.1f%%)\n", s.LLCAccesses, 100*m.LLCHitRate())
+	fmt.Printf("  local/remote/miss: %d / %d / %d\n", s.LocalHits, s.RemoteHits, s.Misses)
+	fmt.Printf("  memory traffic:    %d reads, %d writebacks\n", s.MemAccesses, s.MemWritebacks)
+	fmt.Printf("  coherence:         %d forwards, %d invalidations, %d upgrades\n",
+		s.Forwards, s.Invalidations, s.Upgrades)
+	if msg := sys.CheckInvariants(); msg != "" {
+		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATION: %s\n", msg)
+		os.Exit(1)
+	}
+}
+
+func findWorkload(name string) (silo.Workload, bool) {
+	all := append(silo.ScaleOutSuite(), silo.EnterpriseSuite()...)
+	for _, w := range all {
+		if strings.EqualFold(w.Name, name) {
+			return w, true
+		}
+	}
+	defer func() { recover() }()
+	w := silo.Spec2006(strings.ToLower(name))
+	return w, true
+}

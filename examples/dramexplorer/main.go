@@ -1,0 +1,31 @@
+// DRAM explorer: walk the die-stacked vault design space of paper Sec. IV.
+// For each capacity under the 4-die x 5mm² budget, print the fastest
+// feasible organization, then the two canonical design points the paper
+// builds SILO and SILO-CO around.
+package main
+
+import (
+	"fmt"
+
+	silo "repro"
+)
+
+func main() {
+	fmt.Println("Tile-dimension sweep (Fig 7, normalized to 1024x1024):")
+	for _, p := range silo.TileSweep() {
+		fmt.Printf("  %-10s latency %.2fx  area %.2fx\n", p.Tile, p.Latency, p.Area)
+	}
+
+	fmt.Println("\nFastest feasible vault per capacity (Fig 8 envelope):")
+	for _, d := range silo.VaultEnvelope() {
+		fmt.Printf("  %4dMB: tile %-8s %5.2fns  %5.2fmm²  %2d banks\n",
+			d.CapacityMB, d.Tile.String(), d.AccessNS(), d.AreaMM2(), d.Banks())
+	}
+
+	lo, co := silo.LatencyOptimizedVault(), silo.CapacityOptimizedVault()
+	fmt.Println("\nDesign points (Table I):")
+	fmt.Printf("  latency-optimized:  %s -> %d cycles at 2GHz (SILO)\n", lo, lo.AccessCycles(2))
+	fmt.Printf("  capacity-optimized: %s -> %d cycles at 2GHz (SILO-CO)\n", co, co.AccessCycles(2))
+	fmt.Printf("  latency ratio %.2fx, area-efficiency ratio %.2fx\n",
+		co.AccessNS()/lo.AccessNS(), co.Tile.AreaEfficiency()/lo.Tile.AreaEfficiency())
+}

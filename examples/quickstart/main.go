@@ -1,0 +1,37 @@
+// Quickstart: build the paper's 16-core SILO system and its shared-LLC
+// baseline, run Web Search on both, and compare throughput — the headline
+// experiment of the paper in ~30 lines.
+package main
+
+import (
+	"fmt"
+
+	silo "repro"
+)
+
+func main() {
+	const (
+		warmInstr = 300_000 // functional warm-up instructions per core
+		warmup    = 20_000  // timed warm-up cycles
+		measure   = 60_000  // measured window (SMARTS-style)
+	)
+
+	run := func(cfg silo.Config) silo.Metrics {
+		sys := silo.NewSystem(cfg, silo.WebSearch())
+		sys.Prewarm()
+		sys.WarmFunctional(warmInstr)
+		return sys.Run(warmup, measure)
+	}
+
+	base := run(silo.BaselineConfig(16))
+	priv := run(silo.SILOConfig(16))
+
+	fmt.Println("Web Search on a 16-core server CMP")
+	fmt.Printf("  shared 8MB LLC baseline: IPC %.2f  (LLC hit rate %.0f%%)\n",
+		base.IPC(), 100*base.LLCHitRate())
+	fmt.Printf("  SILO (256MB/core vault): IPC %.2f  (LLC hit rate %.0f%%)\n",
+		priv.IPC(), 100*priv.LLCHitRate())
+	fmt.Printf("  speedup: %+.1f%%\n", 100*(priv.IPC()/base.IPC()-1))
+	fmt.Printf("  off-chip misses: %d -> %d per window\n",
+		base.Stats.Misses, priv.Stats.Misses)
+}

@@ -1,0 +1,33 @@
+// SPEC mix: a public-cloud batch scenario (paper Fig 15). Four SPEC CPU2006
+// codes share a 4-core machine; private vaults give each one its own
+// 256MB LLC slice, so memory-hungry neighbours stop degrading cache-fitting
+// ones.
+package main
+
+import (
+	"fmt"
+
+	silo "repro"
+)
+
+func main() {
+	mix := silo.Spec06Mixes()[2] // mix3: mcf-zeusmp-calculix-lbm
+	specs := silo.MixSpecs(mix)
+
+	run := func(cfg silo.Config) silo.Metrics {
+		sys := silo.NewMixedSystem(cfg, specs)
+		sys.Prewarm()
+		sys.WarmFunctional(400_000)
+		return sys.Run(20_000, 60_000)
+	}
+	base := run(silo.BaselineConfig(4))
+	priv := run(silo.SILOConfig(4))
+
+	fmt.Printf("%s on 4 cores: %v\n", mix.Name, mix.Benchmarks)
+	fmt.Printf("  %-10s %10s %10s\n", "benchmark", "base IPC", "SILO IPC")
+	for i, name := range mix.Benchmarks {
+		fmt.Printf("  %-10s %10.3f %10.3f\n", name, base.CoreIPC(i), priv.CoreIPC(i))
+	}
+	fmt.Printf("  aggregate: %.3f -> %.3f (%+.1f%%)\n",
+		base.IPC(), priv.IPC(), 100*(priv.IPC()/base.IPC()-1))
+}

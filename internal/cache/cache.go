@@ -1,0 +1,329 @@
+// Package cache implements the functional storage model shared by every
+// SRAM and DRAM cache in the simulated systems: a set-associative array of
+// tagged lines with per-line coherence state and pluggable replacement.
+//
+// The array is purely functional (no timing); hierarchy levels own an Array
+// and add their latency and protocol behaviour on top. This split keeps the
+// protocol logic testable without a simulation clock.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// State is a per-line coherence state. The zero value is Invalid.
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: read-only copy, other caches may also hold copies.
+	Shared
+	// Exclusive: clean, and the only copy in any cache.
+	Exclusive
+	// Owned: dirty, and this cache must answer requests for the line
+	// (MOESI O state; other caches may hold Shared copies).
+	Owned
+	// Modified: dirty, and the only copy in any cache.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether the state denotes a present line.
+func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether the state holds data newer than the next level.
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// Policy selects a replacement victim.
+type Policy uint8
+
+const (
+	// LRU evicts the least recently used way (paper Table II baseline).
+	LRU Policy = iota
+	// RandomRepl evicts a pseudo-random way.
+	RandomRepl
+)
+
+// Line is one cache line's metadata.
+type Line struct {
+	Tag   uint64 // line address (full address >> log2(LineSize))
+	State State
+	used  uint64 // LRU timestamp
+}
+
+// Array is a set-associative cache tag/state array.
+type Array struct {
+	sets   int
+	ways   int
+	policy Policy
+	shift  uint   // set-index shift (see NewBankedArray)
+	lines  []Line // sets*ways, set-major
+	tick   uint64
+	rndst  uint64 // xorshift state for RandomRepl
+
+	// Occupancy tracks the number of valid lines, maintained incrementally
+	// so invariant checks are O(1).
+	occupied int
+}
+
+// NewBankedArray builds an array that is one bank of a larger
+// address-interleaved cache: the low bankBits of the line index select the
+// bank (see BankSelect), so the set index must come from the bits above
+// them. Using the same bits for both would fold every line in the bank
+// onto a single set and shrink the effective capacity to ways lines.
+func NewBankedArray(sizeBytes int64, ways int, policy Policy, bankBits uint) *Array {
+	a := NewArray(sizeBytes, ways, policy)
+	a.shift = bankBits
+	return a
+}
+
+// NewArray builds an array of the given total size in bytes. Size must be a
+// multiple of ways*mem.LineSize and the resulting set count a power of two.
+func NewArray(sizeBytes int64, ways int, policy Policy) *Array {
+	if ways <= 0 {
+		panic("cache: non-positive ways")
+	}
+	if sizeBytes%mem.LineSize != 0 {
+		panic(fmt.Sprintf("cache: size %d not a multiple of the %dB line size", sizeBytes, mem.LineSize))
+	}
+	lines := sizeBytes / mem.LineSize
+	if lines <= 0 || lines%int64(ways) != 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible into %d ways of %dB lines", sizeBytes, ways, mem.LineSize))
+	}
+	sets := lines / int64(ways)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &Array{
+		sets:   int(sets),
+		ways:   ways,
+		policy: policy,
+		lines:  make([]Line, lines),
+		rndst:  0x9E3779B97F4A7C15,
+	}
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// Ways returns the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+// SizeBytes returns the total capacity.
+func (a *Array) SizeBytes() int64 { return int64(a.sets) * int64(a.ways) * mem.LineSize }
+
+// Occupied returns the number of valid lines.
+func (a *Array) Occupied() int { return a.occupied }
+
+// tag converts a line address to the stored tag.
+func tag(line mem.LineAddr) uint64 { return uint64(line) / mem.LineSize }
+
+// lineAddr converts a stored tag back to a line address.
+func lineAddr(t uint64) mem.LineAddr { return mem.LineAddr(t * mem.LineSize) }
+
+// set returns the set index for a line address.
+func (a *Array) set(line mem.LineAddr) int {
+	return int((tag(line) >> a.shift) & uint64(a.sets-1))
+}
+
+func (a *Array) slot(set, way int) *Line { return &a.lines[set*a.ways+way] }
+
+// Lookup finds the line and returns its state without updating recency.
+// It returns Invalid when absent.
+func (a *Array) Lookup(line mem.LineAddr) State {
+	s := a.set(line)
+	t := tag(line)
+	for w := 0; w < a.ways; w++ {
+		l := a.slot(s, w)
+		if l.State.Valid() && l.Tag == t {
+			return l.State
+		}
+	}
+	return Invalid
+}
+
+// Contains reports whether the line is present.
+func (a *Array) Contains(line mem.LineAddr) bool { return a.Lookup(line).Valid() }
+
+// Touch marks the line most recently used, returning false when absent.
+func (a *Array) Touch(line mem.LineAddr) bool {
+	s := a.set(line)
+	t := tag(line)
+	for w := 0; w < a.ways; w++ {
+		l := a.slot(s, w)
+		if l.State.Valid() && l.Tag == t {
+			a.tick++
+			l.used = a.tick
+			return true
+		}
+	}
+	return false
+}
+
+// SetState updates the coherence state of a present line, returning false
+// when absent. Setting Invalid removes the line.
+func (a *Array) SetState(line mem.LineAddr, st State) bool {
+	s := a.set(line)
+	t := tag(line)
+	for w := 0; w < a.ways; w++ {
+		l := a.slot(s, w)
+		if l.State.Valid() && l.Tag == t {
+			if st == Invalid {
+				a.occupied--
+				*l = Line{}
+				return true
+			}
+			l.State = st
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a line displaced by Insert.
+type Eviction struct {
+	Line  mem.LineAddr
+	State State
+}
+
+// Dirty reports whether the victim must be written back.
+func (e Eviction) Dirty() bool { return e.State.Dirty() }
+
+// InsertNonTemporal places the line at LRU priority: it becomes the set's
+// preferred victim, so streaming fills displace each other rather than
+// reused lines. This models the anti-thrash insertion real LLCs apply to
+// never-reused streams, and — at the reproduction's capacity scale — it
+// reproduces the residency that plain LRU provides at paper scale, where
+// set lifetimes are 512x longer relative to reuse intervals.
+func (a *Array) InsertNonTemporal(line mem.LineAddr, st State) (ev Eviction, evicted bool) {
+	ev, evicted = a.Insert(line, st)
+	s := a.set(line)
+	t := tag(line)
+	for w := 0; w < a.ways; w++ {
+		l := a.slot(s, w)
+		if l.State.Valid() && l.Tag == t {
+			l.used = 0
+			break
+		}
+	}
+	return ev, evicted
+}
+
+// Insert places the line in the array with the given state, evicting a
+// victim if the set is full. It returns the eviction (ok=false when an
+// invalid way was used). Inserting a line that is already present panics:
+// callers must Lookup first — double insertion always indicates a protocol
+// bug.
+func (a *Array) Insert(line mem.LineAddr, st State) (ev Eviction, evicted bool) {
+	if !st.Valid() {
+		panic("cache: inserting invalid state")
+	}
+	s := a.set(line)
+	t := tag(line)
+	victim := -1
+	for w := 0; w < a.ways; w++ {
+		l := a.slot(s, w)
+		if l.State.Valid() && l.Tag == t {
+			panic(fmt.Sprintf("cache: double insert of line %#x", uint64(line)))
+		}
+		if !l.State.Valid() && victim == -1 {
+			victim = w
+		}
+	}
+	if victim == -1 {
+		victim = a.victim(s)
+		v := a.slot(s, victim)
+		ev = Eviction{Line: lineAddr(v.Tag), State: v.State}
+		evicted = true
+		a.occupied--
+	}
+	a.tick++
+	*a.slot(s, victim) = Line{Tag: t, State: st, used: a.tick}
+	a.occupied++
+	return ev, evicted
+}
+
+// victim picks the replacement way in a full set.
+func (a *Array) victim(set int) int {
+	switch a.policy {
+	case LRU:
+		best, bestUsed := 0, a.slot(set, 0).used
+		for w := 1; w < a.ways; w++ {
+			if u := a.slot(set, w).used; u < bestUsed {
+				best, bestUsed = w, u
+			}
+		}
+		return best
+	case RandomRepl:
+		a.rndst ^= a.rndst << 13
+		a.rndst ^= a.rndst >> 7
+		a.rndst ^= a.rndst << 17
+		return int(a.rndst % uint64(a.ways))
+	default:
+		panic(fmt.Sprintf("cache: unknown policy %d", a.policy))
+	}
+}
+
+// Invalidate removes the line, returning its prior state (Invalid when it
+// was not present).
+func (a *Array) Invalidate(line mem.LineAddr) State {
+	s := a.set(line)
+	t := tag(line)
+	for w := 0; w < a.ways; w++ {
+		l := a.slot(s, w)
+		if l.State.Valid() && l.Tag == t {
+			st := l.State
+			*l = Line{}
+			a.occupied--
+			return st
+		}
+	}
+	return Invalid
+}
+
+// ForEach calls fn for every valid line. Iteration order is deterministic
+// (set-major). fn must not mutate the array.
+func (a *Array) ForEach(fn func(line mem.LineAddr, st State)) {
+	for i := range a.lines {
+		l := &a.lines[i]
+		if l.State.Valid() {
+			fn(lineAddr(l.Tag), l.State)
+		}
+	}
+}
+
+// SetOf exposes the set index for interleaving and diagnostics.
+func (a *Array) SetOf(line mem.LineAddr) int { return a.set(line) }
+
+// BankSelect address-interleaves lines across banks: consecutive lines map
+// to consecutive banks (paper: S-NUCA address interleaving). banks must be
+// a power of two.
+func BankSelect(line mem.LineAddr, banks int) int {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("cache: bank count %d not a power of two", banks))
+	}
+	return int(tag(line) & uint64(banks-1))
+}
+
+// ilog2 returns floor(log2(v)); used by sizing helpers.
+func ilog2(v uint64) int { return 63 - bits.LeadingZeros64(v) }

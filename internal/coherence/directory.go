@@ -1,0 +1,322 @@
+// Package coherence implements the two coherence substrates of the
+// evaluated systems:
+//
+//   - Directory: the directory-based protocol that keeps SILO's all-private
+//     vault LLCs coherent (paper Sec. V-B). It models the duplicate-tag
+//     organization — logically an N-way tag store where the way position
+//     encodes the caching core — as per-line compact state. MOESI is the
+//     paper's protocol; MESI is selectable for the ablation study.
+//   - SnoopFilter: the sharer tracking a shared last-level cache performs
+//     for the private L1s above it (baseline MESI, non-inclusive, paper
+//     Table II).
+//
+// Both types are purely functional state machines: they decide who
+// forwards, who is invalidated, and what is written back, while the system
+// assembly (internal/core) attaches latencies to those decisions. This
+// separation lets the protocol be tested exhaustively without a clock.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// Protocol selects the private-LLC coherence protocol.
+type Protocol uint8
+
+const (
+	// MOESI is the paper's protocol: the Owned state lets a dirty block be
+	// supplied to readers without writing it back to memory (Sec. V-B).
+	MOESI Protocol = iota
+	// MESI is the ablation alternative: a dirty block read by another core
+	// must be written back to memory (the point of coherence) on downgrade.
+	MESI
+)
+
+func (p Protocol) String() string {
+	if p == MESI {
+		return "MESI"
+	}
+	return "MOESI"
+}
+
+// MemorySource marks data supplied by main memory rather than a peer cache.
+const MemorySource = -1
+
+// entry is the compact per-line directory state. At most one core holds the
+// line in a non-Shared state (the owner); every other holder is Shared.
+type entry struct {
+	mask       uint32      // bit c set: core c holds the line
+	owner      int8        // core holding E/M/O, or -1
+	ownerState cache.State // Exclusive, Modified or Owned when owner >= 0
+}
+
+// Directory is the coherence directory for a private-LLC system with up to
+// 32 cores.
+type Directory struct {
+	protocol Protocol
+	cores    int
+	entries  map[mem.LineAddr]entry
+
+	// Stats.
+	Reads         uint64
+	Writes        uint64
+	Upgrades      uint64
+	Forwards      uint64 // cache-to-cache transfers
+	Invalidations uint64 // per-core invalidation messages
+	MemWritebacks uint64 // protocol-induced writebacks (MESI downgrades, O/M evictions)
+}
+
+// NewDirectory builds a directory for the given core count and protocol.
+func NewDirectory(cores int, protocol Protocol) *Directory {
+	if cores <= 0 || cores > 32 {
+		panic(fmt.Sprintf("coherence: core count %d outside [1,32]", cores))
+	}
+	return &Directory{protocol: protocol, cores: cores, entries: make(map[mem.LineAddr]entry)}
+}
+
+// Protocol returns the configured protocol.
+func (d *Directory) Protocol() Protocol { return d.protocol }
+
+// Entries returns the number of tracked lines.
+func (d *Directory) Entries() int { return len(d.entries) }
+
+func (d *Directory) check(core int) {
+	if core < 0 || core >= d.cores {
+		panic(fmt.Sprintf("coherence: core %d outside [0,%d)", core, d.cores))
+	}
+}
+
+// StateOf reports the coherence state of the line in core's private LLC.
+func (d *Directory) StateOf(line mem.LineAddr, core int) cache.State {
+	d.check(core)
+	e, ok := d.entries[line]
+	if !ok || e.mask&(1<<uint(core)) == 0 {
+		return cache.Invalid
+	}
+	if int(e.owner) == core {
+		return e.ownerState
+	}
+	return cache.Shared
+}
+
+// Sharers returns the cores holding the line, in ascending order.
+func (d *Directory) Sharers(line mem.LineAddr) []int {
+	e, ok := d.entries[line]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for c := 0; c < d.cores; c++ {
+		if e.mask&(1<<uint(c)) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Owner returns the core holding the line in E, M or O, or -1.
+func (d *Directory) Owner(line mem.LineAddr) int {
+	e, ok := d.entries[line]
+	if !ok {
+		return -1
+	}
+	return int(e.owner)
+}
+
+// ReadOutcome describes how a read miss is satisfied.
+type ReadOutcome struct {
+	// Source is the forwarding core, or MemorySource when the data comes
+	// from main memory.
+	Source int
+	// FillState is the state the requester installs (E on a miss with no
+	// sharers, else S).
+	FillState cache.State
+	// MemWriteback is set when the protocol forces the dirty line to be
+	// written back to memory on the downgrade (MESI only).
+	MemWriteback bool
+}
+
+// Read records a read miss by requester and returns how it is satisfied.
+// The requester must not already hold the line.
+func (d *Directory) Read(line mem.LineAddr, requester int) ReadOutcome {
+	d.check(requester)
+	d.Reads++
+	bit := uint32(1) << uint(requester)
+	e, ok := d.entries[line]
+	if ok && e.mask&bit != 0 {
+		panic(fmt.Sprintf("coherence: core %d read-missed line %#x it already holds", requester, uint64(line)))
+	}
+	if !ok || e.mask == 0 {
+		// No cached copy anywhere: fill Exclusive from memory.
+		d.entries[line] = entry{mask: bit, owner: int8(requester), ownerState: cache.Exclusive}
+		return ReadOutcome{Source: MemorySource, FillState: cache.Exclusive}
+	}
+
+	out := ReadOutcome{FillState: cache.Shared}
+	if e.owner >= 0 {
+		out.Source = int(e.owner)
+		d.Forwards++
+		switch e.ownerState {
+		case cache.Modified:
+			if d.protocol == MOESI {
+				// M -> O: dirty data forwarded, memory untouched.
+				e.ownerState = cache.Owned
+			} else {
+				// MESI: M -> S with a writeback to memory.
+				e.owner = -1
+				out.MemWriteback = true
+				d.MemWritebacks++
+			}
+		case cache.Owned:
+			// Owner keeps O and keeps answering.
+		case cache.Exclusive:
+			// Clean forward; E degenerates to S.
+			e.owner = -1
+		default:
+			panic(fmt.Sprintf("coherence: owner in state %v", e.ownerState))
+		}
+	} else {
+		// All copies Shared: the nearest sharer forwards. Source selection
+		// (which sharer) is a timing decision; report the lowest-numbered
+		// one and let the caller pick by distance via Sharers.
+		out.Source = firstSet(e.mask, d.cores)
+		d.Forwards++
+	}
+	e.mask |= bit
+	d.entries[line] = e
+	return out
+}
+
+// WriteOutcome describes how a write miss or upgrade is satisfied.
+type WriteOutcome struct {
+	// Source is the forwarding core, MemorySource for a memory fetch, or
+	// the requester itself for an upgrade (no data transfer).
+	Source int
+	// Invalidated lists the other cores whose copies were invalidated.
+	Invalidated []int
+	// Upgrade is set when the requester already held the line.
+	Upgrade bool
+}
+
+// Write records a write miss (or upgrade) by requester; afterwards the
+// requester holds the line in Modified and nobody else holds it.
+func (d *Directory) Write(line mem.LineAddr, requester int) WriteOutcome {
+	d.check(requester)
+	d.Writes++
+	bit := uint32(1) << uint(requester)
+	e, ok := d.entries[line]
+	out := WriteOutcome{Source: MemorySource}
+	if ok {
+		if e.mask&bit != 0 {
+			out.Upgrade = true
+			out.Source = requester
+			d.Upgrades++
+		} else if e.owner >= 0 {
+			// Dirty or exclusive peer copy: it forwards then invalidates.
+			out.Source = int(e.owner)
+			d.Forwards++
+		} else if e.mask != 0 {
+			// Clean shared copies: one forwards, all invalidate.
+			out.Source = firstSet(e.mask, d.cores)
+			d.Forwards++
+		}
+		for c := 0; c < d.cores; c++ {
+			cbit := uint32(1) << uint(c)
+			if c != requester && e.mask&cbit != 0 {
+				out.Invalidated = append(out.Invalidated, c)
+				d.Invalidations++
+			}
+		}
+	}
+	d.entries[line] = entry{mask: bit, owner: int8(requester), ownerState: cache.Modified}
+	return out
+}
+
+// EvictOutcome describes a private-LLC eviction.
+type EvictOutcome struct {
+	// MemWriteback is set when the evicted line was dirty (M or O) and must
+	// be written to memory.
+	MemWriteback bool
+}
+
+// Evict records that core's private LLC dropped the line (capacity or
+// conflict eviction). Shared copies at other cores survive.
+func (d *Directory) Evict(line mem.LineAddr, core int) EvictOutcome {
+	d.check(core)
+	bit := uint32(1) << uint(core)
+	e, ok := d.entries[line]
+	if !ok || e.mask&bit == 0 {
+		panic(fmt.Sprintf("coherence: core %d evicted line %#x it does not hold", core, uint64(line)))
+	}
+	var out EvictOutcome
+	if int(e.owner) == core {
+		if e.ownerState.Dirty() {
+			out.MemWriteback = true
+			d.MemWritebacks++
+		}
+		e.owner = -1
+	}
+	e.mask &^= bit
+	if e.mask == 0 {
+		delete(d.entries, line)
+	} else {
+		d.entries[line] = e
+	}
+	return out
+}
+
+// MarkDirty records that core's copy became dirty without a directory
+// transaction — an L1 writeback landing in a vault that already holds the
+// line in E or M (silent E->M upgrade). The core must be the owner in E/M;
+// writes to Shared copies must go through Write.
+func (d *Directory) MarkDirty(line mem.LineAddr, core int) {
+	d.check(core)
+	e, ok := d.entries[line]
+	if !ok || int(e.owner) != core {
+		panic(fmt.Sprintf("coherence: MarkDirty by non-owner core %d on line %#x", core, uint64(line)))
+	}
+	if e.ownerState == cache.Exclusive {
+		e.ownerState = cache.Modified
+		d.entries[line] = e
+	}
+}
+
+// CheckInvariants validates the representation; tests call it after
+// randomized operation sequences. It returns an error description or "".
+func (d *Directory) CheckInvariants() string {
+	for line, e := range d.entries {
+		if e.mask == 0 {
+			return fmt.Sprintf("line %#x: empty entry retained", uint64(line))
+		}
+		if e.owner >= 0 {
+			if e.mask&(1<<uint(e.owner)) == 0 {
+				return fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+			}
+			switch e.ownerState {
+			case cache.Exclusive, cache.Modified:
+				if e.mask != 1<<uint(e.owner) {
+					return fmt.Sprintf("line %#x: %v owner with other sharers", uint64(line), e.ownerState)
+				}
+			case cache.Owned:
+				if d.protocol == MESI {
+					return fmt.Sprintf("line %#x: O state under MESI", uint64(line))
+				}
+			default:
+				return fmt.Sprintf("line %#x: bad owner state %v", uint64(line), e.ownerState)
+			}
+		}
+	}
+	return ""
+}
+
+func firstSet(mask uint32, cores int) int {
+	for c := 0; c < cores; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			return c
+		}
+	}
+	panic("coherence: firstSet on empty mask")
+}

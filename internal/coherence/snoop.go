@@ -1,0 +1,166 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// SnoopFilter tracks which private L1s hold copies of lines above a shared
+// last-level cache, implementing the baseline's MESI protocol with the LLC
+// as the point of coherence (paper Table II: non-inclusive MESI). A dirty
+// L1 copy read by another core is forwarded and the dirty data is absorbed
+// by the LLC, not main memory.
+type SnoopFilter struct {
+	cores   int
+	entries map[mem.LineAddr]l1entry
+
+	// Stats.
+	Forwards      uint64
+	Invalidations uint64
+}
+
+type l1entry struct {
+	mask  uint32 // bit c: core c's L1 holds the line
+	owner int8   // L1 holding the line modified, or -1
+}
+
+// NewSnoopFilter builds a filter for up to 32 cores.
+func NewSnoopFilter(cores int) *SnoopFilter {
+	if cores <= 0 || cores > 32 {
+		panic(fmt.Sprintf("coherence: core count %d outside [1,32]", cores))
+	}
+	return &SnoopFilter{cores: cores, entries: make(map[mem.LineAddr]l1entry)}
+}
+
+func (f *SnoopFilter) check(core int) {
+	if core < 0 || core >= f.cores {
+		panic(fmt.Sprintf("coherence: core %d outside [0,%d)", core, f.cores))
+	}
+}
+
+// Holders returns the cores whose L1s hold the line.
+func (f *SnoopFilter) Holders(line mem.LineAddr) []int {
+	e, ok := f.entries[line]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for c := 0; c < f.cores; c++ {
+		if e.mask&(1<<uint(c)) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DirtyOwner returns the L1 holding the line modified, or -1.
+func (f *SnoopFilter) DirtyOwner(line mem.LineAddr) int {
+	e, ok := f.entries[line]
+	if !ok {
+		return -1
+	}
+	return int(e.owner)
+}
+
+// Read records core's L1 fetching the line for reading. If another L1 holds
+// it modified, that L1 forwards and downgrades, and the LLC absorbs the
+// dirty data: the returned dirtied flag tells the LLC to mark its copy
+// modified so the data eventually reaches memory on LLC eviction.
+// entryOf fetches the tracking entry, yielding a no-owner entry when the
+// line is untracked (the zero value would alias core 0 as owner).
+func (f *SnoopFilter) entryOf(line mem.LineAddr) l1entry {
+	if e, ok := f.entries[line]; ok {
+		return e
+	}
+	return l1entry{owner: -1}
+}
+
+func (f *SnoopFilter) Read(line mem.LineAddr, core int) (forwarder int, dirtied bool) {
+	f.check(core)
+	e := f.entryOf(line)
+	forwarder = -1
+	if e.owner >= 0 && int(e.owner) != core {
+		forwarder = int(e.owner)
+		dirtied = true
+		e.owner = -1
+		f.Forwards++
+	}
+	e.mask |= 1 << uint(core)
+	f.entries[line] = e
+	return forwarder, dirtied
+}
+
+// Write records core's L1 fetching the line for writing: every other L1
+// copy is invalidated and core becomes the dirty owner. If a previous dirty
+// owner existed it forwards (dirtied tells the LLC to absorb the data).
+func (f *SnoopFilter) Write(line mem.LineAddr, core int) (invalidated []int, dirtied bool) {
+	f.check(core)
+	e := f.entryOf(line)
+	if e.owner >= 0 && int(e.owner) != core {
+		dirtied = true
+		f.Forwards++
+	}
+	for c := 0; c < f.cores; c++ {
+		bit := uint32(1) << uint(c)
+		if c != core && e.mask&bit != 0 {
+			invalidated = append(invalidated, c)
+			f.Invalidations++
+		}
+	}
+	f.entries[line] = l1entry{mask: 1 << uint(core), owner: int8(core)}
+	return invalidated, dirtied
+}
+
+// Evict records core's L1 dropping the line. dirty reports whether the
+// eviction carries data that the LLC must absorb.
+func (f *SnoopFilter) Evict(line mem.LineAddr, core int, dirty bool) {
+	f.check(core)
+	e, ok := f.entries[line]
+	if !ok || e.mask&(1<<uint(core)) == 0 {
+		// The LLC may have silently dropped tracking (non-inclusive); an
+		// unknown eviction is legal and ignored.
+		return
+	}
+	if int(e.owner) == core {
+		e.owner = -1
+	}
+	e.mask &^= 1 << uint(core)
+	if e.mask == 0 {
+		delete(f.entries, line)
+	} else {
+		f.entries[line] = e
+	}
+	_ = dirty // data movement is the LLC's concern; tracking only here
+}
+
+// InvalidateAll drops every L1 copy of the line (used when the shared LLC
+// evicts a line in an inclusive configuration) and returns the cores that
+// lost their copy.
+func (f *SnoopFilter) InvalidateAll(line mem.LineAddr) []int {
+	holders := f.Holders(line)
+	f.Invalidations += uint64(len(holders))
+	delete(f.entries, line)
+	return holders
+}
+
+// Entries returns the number of tracked lines.
+func (f *SnoopFilter) Entries() int { return len(f.entries) }
+
+// CheckInvariants validates the representation, returning "" when healthy.
+func (f *SnoopFilter) CheckInvariants() string {
+	for line, e := range f.entries {
+		if e.mask == 0 {
+			return fmt.Sprintf("line %#x: empty entry retained", uint64(line))
+		}
+		if e.owner >= 0 {
+			if e.mask&(1<<uint(e.owner)) == 0 {
+				return fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+			}
+			if e.mask != 1<<uint(e.owner) {
+				return fmt.Sprintf("line %#x: dirty owner with other sharers", uint64(line))
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vault"
+)
+
+// privateHierarchy implements SILO (paper Secs. III and V): per-core
+// private L1s (plus optional L2) backed by a private die-stacked DRAM vault
+// used as an inclusive, direct-mapped, TAD-organized LLC slice. Coherence
+// is a directory protocol (MOESI by default) whose duplicate-tag metadata
+// lives in the vaults: a miss in the local vault consults the line's home
+// vault, which may forward to a remote owner vault or to memory.
+//
+// Access paths (paper Sec. V-C): up to three DRAM accesses may serialize —
+// local vault (miss discovered after the TAD read), directory metadata at
+// the home vault, and the remote owner's vault. The LocalMissPredictor and
+// DirectoryCache optimizations (both ideal, per Fig 12) elide the first
+// two respectively.
+type privateHierarchy struct {
+	sys *System
+	st  Stats
+
+	l1i, l1d []*cache.Array
+	l2       []*cache.Array
+
+	vaultArr []*cache.Array // per-core private LLC contents
+	vaults   []*vault.Vault // per-core vault timing
+	dir      *coherence.Directory
+}
+
+func newPrivateHierarchy(sys *System) *privateHierarchy {
+	cfg := sys.cfg
+	h := &privateHierarchy{
+		sys:      sys,
+		l1i:      make([]*cache.Array, cfg.Cores),
+		l1d:      make([]*cache.Array, cfg.Cores),
+		vaultArr: make([]*cache.Array, cfg.Cores),
+		vaults:   make([]*vault.Vault, cfg.Cores),
+		dir:      coherence.NewDirectory(cfg.Cores, cfg.Protocol),
+	}
+	per := scaledPow2(cfg.VaultCapacity, cfg.Scale)
+	l1 := scaledL1(cfg.L1Size, cfg.Scale)
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1i[c] = cache.NewArray(l1, cfg.L1Ways, cache.LRU)
+		h.l1d[c] = cache.NewArray(l1, cfg.L1Ways, cache.LRU)
+		h.vaultArr[c] = cache.NewArray(per, cfg.VaultWays, cache.LRU)
+		h.vaults[c] = vault.New(sys.engine, cfg.VaultTiming)
+	}
+	if cfg.L2Size > 0 {
+		h.l2 = make([]*cache.Array, cfg.Cores)
+		for c := 0; c < cfg.Cores; c++ {
+			h.l2[c] = cache.NewArray(scaledPow2(cfg.L2Size, cfg.Scale), cfg.L2Ways, cache.LRU)
+		}
+	}
+	return h
+}
+
+func (h *privateHierarchy) stats() Stats { return h.st }
+
+// homeOf address-interleaves directory homes across the vaults (paper
+// Sec. V-B: physically distributed, address-interleaved directory).
+func (h *privateHierarchy) homeOf(line mem.LineAddr) int {
+	return int((uint64(line) / mem.LineSize) % uint64(h.sys.cfg.Cores))
+}
+
+// dirLatency is the cost of consulting the directory metadata at the home
+// vault: NoC to the home plus an in-DRAM metadata access (elided entirely
+// by the ideal directory cache, which leaves only the NoC hop).
+func (h *privateHierarchy) dirLatency(core, home int, line mem.LineAddr, timing bool) sim.Cycle {
+	h.st.DirAccesses++
+	if !timing {
+		return 0
+	}
+	lat := h.sys.mesh.Latency(core, home)
+	if !h.sys.cfg.DirectoryCache {
+		lat += h.vaults[home].MetadataAccess(line)
+		h.st.VaultAccesses++
+	}
+	return lat
+}
+
+func (h *privateHierarchy) ifetch(core int, line mem.LineAddr, jump, timing bool) (sim.Cycle, bool) {
+	if h.l1i[core].Contains(line) {
+		h.l1i[core].Touch(line)
+		return 0, true
+	}
+	if !jump {
+		h.fillIFetch(core, line, false)
+		return 0, true
+	}
+	lat := h.fillIFetch(core, line, timing)
+	return lat, false
+}
+
+func (h *privateHierarchy) fillIFetch(core int, line mem.LineAddr, timing bool) sim.Cycle {
+	lat := h.readVaultPath(core, line, false, timing)
+	if h.l2 != nil {
+		h.insertL2(core, line)
+	}
+	if !h.l1i[core].Contains(line) {
+		ev, evicted := h.l1i[core].Insert(line, cache.Shared)
+		_ = ev
+		_ = evicted // L1 evictions are silent; dirtiness lives at vault level
+	}
+	return lat
+}
+
+func (h *privateHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemporal, timing bool) (sim.Cycle, bool) {
+	line := addr.Line()
+
+	if h.l1d[core].Contains(line) {
+		h.l1d[core].Touch(line)
+		if !write {
+			return 0, true
+		}
+		// Store: writable when the vault holds the line in E, M or O.
+		switch h.dir.StateOf(line, core) {
+		case cache.Modified, cache.Owned:
+			return 0, true
+		case cache.Exclusive:
+			h.dir.MarkDirty(line, core)
+			return 0, true
+		default:
+			// Shared (or lost to eviction): upgrade through the directory.
+			lat := h.writeVaultPath(core, line, rwShared, timing)
+			return lat, false
+		}
+	}
+
+	if h.l2 != nil && h.l2[core].Contains(line) {
+		h.l2[core].Touch(line)
+		h.fillL1D(core, line)
+		lat := h.sys.cfg.L2Latency
+		if !timing {
+			lat = 0
+		}
+		if write {
+			switch h.dir.StateOf(line, core) {
+			case cache.Modified, cache.Owned:
+			case cache.Exclusive:
+				h.dir.MarkDirty(line, core)
+			default:
+				lat += h.writeVaultPath(core, line, rwShared, timing)
+			}
+		}
+		return lat, false
+	}
+
+	var lat sim.Cycle
+	if write {
+		// A store already owned at the vault level is a plain local vault
+		// access; only stores to Shared or absent lines need the directory.
+		switch h.dir.StateOf(line, core) {
+		case cache.Modified, cache.Owned:
+			lat = h.localWriteHit(core, line, rwShared, timing)
+		case cache.Exclusive:
+			h.dir.MarkDirty(line, core)
+			lat = h.localWriteHit(core, line, rwShared, timing)
+		default:
+			lat = h.writeVaultPath(core, line, rwShared, timing)
+		}
+	} else {
+		lat = h.readVaultPath(core, line, rwShared, timing)
+	}
+	if h.l2 != nil {
+		h.insertL2(core, line)
+	}
+	h.fillL1D(core, line)
+	return lat, false
+}
+
+// localWriteHit services a store whose line is owned by the local vault:
+// one TAD access, no coherence traffic.
+func (h *privateHierarchy) localWriteHit(core int, line mem.LineAddr, rwShared, timing bool) sim.Cycle {
+	h.st.LLCAccesses++
+	if rwShared {
+		h.st.WritesRWShared++
+	} else {
+		h.st.WritesPrivate++
+	}
+	h.st.LocalHits++
+	h.vaultArr[core].Touch(line)
+	if !timing {
+		return 0
+	}
+	h.st.VaultAccesses++
+	return h.vaults[core].Access(line)
+}
+
+// readVaultPath is the SILO read flow: local vault, then directory, then
+// remote owner or memory.
+func (h *privateHierarchy) readVaultPath(core int, line mem.LineAddr, rwShared, timing bool) sim.Cycle {
+	_ = rwShared // the RW-shared latency study applies to the baseline only
+	cfg := h.sys.cfg
+	h.st.LLCAccesses++
+	h.st.Reads++
+
+	local := h.vaultArr[core].Contains(line)
+	var lat sim.Cycle
+	if local {
+		if timing {
+			lat = h.vaults[core].Access(line)
+			h.st.VaultAccesses++
+		}
+		h.vaultArr[core].Touch(line)
+		h.st.LocalHits++
+		return lat
+	}
+
+	// Local miss. Without the (ideal) miss predictor the TAD read happens
+	// before the miss is known.
+	if timing && !cfg.LocalMissPredictor {
+		lat += h.vaults[core].Access(line)
+		h.st.VaultAccesses++
+	}
+
+	home := h.homeOf(line)
+	lat += h.dirLatency(core, home, line, timing)
+
+	out := h.dir.Read(line, core)
+	if out.MemWriteback {
+		h.st.MemWritebacks++
+		if timing {
+			h.sys.mainMem.Writeback(line)
+		}
+	}
+	if out.Source == coherence.MemorySource {
+		h.st.Misses++
+		h.st.MemAccesses++
+		if timing {
+			lat += h.sys.mainMem.Access(line) + h.sys.mesh.Latency(home, core)
+		}
+	} else {
+		h.st.RemoteHits++
+		h.st.Forwards++
+		if timing {
+			lat += h.sys.mesh.Latency(home, out.Source) +
+				h.vaults[out.Source].Access(line) +
+				h.sys.mesh.Latency(out.Source, core)
+			h.st.VaultAccesses++
+		}
+		h.vaultArr[out.Source].Touch(line)
+	}
+
+	h.fillVault(core, line, timing)
+	return lat
+}
+
+// writeVaultPath is the SILO write flow: local permission check happened at
+// the caller; this path acquires ownership through the directory.
+func (h *privateHierarchy) writeVaultPath(core int, line mem.LineAddr, rwShared, timing bool) sim.Cycle {
+	_ = rwShared
+	cfg := h.sys.cfg
+	h.st.LLCAccesses++
+	if rwShared {
+		h.st.WritesRWShared++
+	} else {
+		h.st.WritesPrivate++
+	}
+
+	local := h.vaultArr[core].Contains(line)
+	var lat sim.Cycle
+	if timing && !local && !cfg.LocalMissPredictor {
+		// Miss discovered by the TAD read.
+		lat += h.vaults[core].Access(line)
+		h.st.VaultAccesses++
+	} else if timing && local {
+		// Upgrade still reads the local TAD (data is here, permission not).
+		lat += h.vaults[core].Access(line)
+		h.st.VaultAccesses++
+	}
+
+	home := h.homeOf(line)
+	lat += h.dirLatency(core, home, line, timing)
+
+	out := h.dir.Write(line, core)
+	if len(out.Invalidated) > 0 {
+		h.st.Invalidations += uint64(len(out.Invalidated))
+		far := sim.Cycle(0)
+		for _, c := range out.Invalidated {
+			h.vaultArr[c].Invalidate(line)
+			h.l1d[c].Invalidate(line)
+			h.l1i[c].Invalidate(line)
+			if h.l2 != nil {
+				h.l2[c].Invalidate(line)
+			}
+			if timing {
+				if rt := h.sys.mesh.RoundTrip(home, c); rt > far {
+					far = rt
+				}
+			}
+		}
+		lat += far
+	}
+
+	switch {
+	case out.Upgrade:
+		h.st.Upgrades++
+		h.st.LocalHits++
+		h.vaultArr[core].Touch(line)
+	case out.Source == coherence.MemorySource:
+		h.st.Misses++
+		h.st.MemAccesses++
+		if timing {
+			lat += h.sys.mainMem.Access(line) + h.sys.mesh.Latency(home, core)
+		}
+		h.fillVault(core, line, timing)
+	default:
+		h.st.RemoteHits++
+		h.st.Forwards++
+		if timing {
+			lat += h.sys.mesh.Latency(home, out.Source) + h.sys.mesh.Latency(out.Source, core)
+		}
+		h.fillVault(core, line, timing)
+	}
+	return lat
+}
+
+// fillVault installs a line into the core's private vault, maintaining
+// inclusion (back-invalidating the victim from the upper levels) and the
+// directory (evictions notify the home; dirty victims write back).
+func (h *privateHierarchy) fillVault(core int, line mem.LineAddr, timing bool) {
+	if h.vaultArr[core].Contains(line) {
+		h.vaultArr[core].Touch(line)
+		return
+	}
+	ev, evicted := h.vaultArr[core].Insert(line, cache.Shared)
+	if !evicted {
+		return
+	}
+	// Inclusion: the victim leaves every private level.
+	h.l1d[core].Invalidate(ev.Line)
+	h.l1i[core].Invalidate(ev.Line)
+	if h.l2 != nil {
+		h.l2[core].Invalidate(ev.Line)
+	}
+	out := h.dir.Evict(ev.Line, core)
+	if out.MemWriteback {
+		h.st.MemWritebacks++
+		if timing {
+			h.sys.mainMem.Writeback(ev.Line)
+		}
+	}
+}
+
+func (h *privateHierarchy) fillL1D(core int, line mem.LineAddr) {
+	if h.l1d[core].Contains(line) {
+		h.l1d[core].Touch(line)
+		return
+	}
+	h.l1d[core].Insert(line, cache.Shared)
+}
+
+func (h *privateHierarchy) insertL2(core int, line mem.LineAddr) {
+	if h.l2[core].Contains(line) {
+		h.l2[core].Touch(line)
+		return
+	}
+	h.l2[core].Insert(line, cache.Shared)
+}
+
+// check validates the duplicate-tag invariant: the directory's view of each
+// core's holdings exactly mirrors the vault contents.
+func (h *privateHierarchy) check() string {
+	if msg := h.dir.CheckInvariants(); msg != "" {
+		return msg
+	}
+	for c := 0; c < h.sys.cfg.Cores; c++ {
+		c := c
+		bad := ""
+		h.vaultArr[c].ForEach(func(line mem.LineAddr, _ cache.State) {
+			if bad == "" && !h.dir.StateOf(line, c).Valid() {
+				bad = fmt.Sprintf("core %d vault holds %#x unknown to directory", c, uint64(line))
+			}
+		})
+		if bad != "" {
+			return bad
+		}
+		// Inclusion: every L1-D line is in the vault.
+		h.l1d[c].ForEach(func(line mem.LineAddr, _ cache.State) {
+			if bad == "" && !h.vaultArr[c].Contains(line) {
+				bad = fmt.Sprintf("core %d L1D holds %#x outside its vault (inclusion broken)", c, uint64(line))
+			}
+		})
+		if bad != "" {
+			return bad
+		}
+	}
+	return ""
+}

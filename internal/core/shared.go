@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/dramcache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vault"
+)
+
+// sharedHierarchy implements the shared-LLC organizations: the SRAM NUCA
+// baseline (with or without the conventional DRAM cache) and the shared
+// die-stacked vault design Vaults-Sh. The LLC is the point of coherence:
+// a MESI snoop filter tracks private-cache copies above it.
+type sharedHierarchy struct {
+	sys *System
+	st  Stats
+
+	l1i, l1d []*cache.Array
+	l2       []*cache.Array // nil without the 3-level option
+
+	banks     []*cache.Array
+	vaults    []*vault.Vault // Vaults-Sh bank timing; nil for SRAM LLC
+	snoop     *coherence.SnoopFilter
+	dramCache *dramcache.Cache // BaselineDRAM only
+}
+
+func newSharedHierarchy(sys *System) *sharedHierarchy {
+	cfg := sys.cfg
+	h := &sharedHierarchy{
+		sys:   sys,
+		l1i:   make([]*cache.Array, cfg.Cores),
+		l1d:   make([]*cache.Array, cfg.Cores),
+		snoop: coherence.NewSnoopFilter(cfg.Cores),
+	}
+	l1 := scaledL1(cfg.L1Size, cfg.Scale)
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1i[c] = cache.NewArray(l1, cfg.L1Ways, cache.LRU)
+		h.l1d[c] = cache.NewArray(l1, cfg.L1Ways, cache.LRU)
+	}
+	if cfg.L2Size > 0 {
+		h.l2 = make([]*cache.Array, cfg.Cores)
+		for c := 0; c < cfg.Cores; c++ {
+			h.l2[c] = cache.NewArray(scaledPow2(cfg.L2Size, cfg.Scale), cfg.L2Ways, cache.LRU)
+		}
+	}
+
+	nbanks := cfg.Cores // one bank per mesh node (paper: 16 banks)
+	bankBits := uint(0)
+	for 1<<bankBits < nbanks {
+		bankBits++
+	}
+	h.banks = make([]*cache.Array, nbanks)
+	if cfg.Kind == VaultsShared {
+		// Each bank is one latency-optimized vault, direct-mapped like the
+		// private design, aggregate capacity shared by all cores.
+		per := scaledPow2(cfg.VaultCapacity, cfg.Scale)
+		h.vaults = make([]*vault.Vault, nbanks)
+		for b := 0; b < nbanks; b++ {
+			h.banks[b] = cache.NewBankedArray(per, 1, cache.LRU, bankBits)
+			h.vaults[b] = vault.New(sys.engine, cfg.VaultTiming)
+		}
+	} else {
+		per := scaledPow2(cfg.LLCSize, cfg.Scale) / int64(nbanks)
+		for b := 0; b < nbanks; b++ {
+			h.banks[b] = cache.NewBankedArray(per, cfg.LLCWays, cache.LRU, bankBits)
+		}
+	}
+	if cfg.Kind == BaselineDRAM {
+		dcCfg := cfg.DRAMCache
+		dcCfg.SizeBytes = scaledPow2(dcCfg.SizeBytes, cfg.Scale)
+		h.dramCache = dramcache.New(dcCfg)
+	}
+	return h
+}
+
+func (h *sharedHierarchy) stats() Stats { return h.st }
+
+// bankOf address-interleaves lines across the LLC banks.
+func (h *sharedHierarchy) bankOf(line mem.LineAddr) int {
+	return cache.BankSelect(line, len(h.banks))
+}
+
+// llcLatency is the loaded round trip for one shared-LLC access by core:
+// NoC out and back, fixed controller overhead, and the bank access (SRAM
+// bank or vault with queueing).
+func (h *sharedHierarchy) llcLatency(core, bank int, line mem.LineAddr, timing bool) sim.Cycle {
+	if !timing {
+		return 0
+	}
+	cfg := h.sys.cfg
+	lat := h.sys.mesh.RoundTrip(core, bank) + cfg.LLCFixedOverhead + cfg.LLCExtraLatency
+	if h.vaults != nil {
+		lat += h.vaults[bank].Access(line)
+	} else {
+		lat += cfg.LLCBankLatency
+	}
+	return lat
+}
+
+// ifetch: instruction lines are read-only and never tracked by the snoop
+// filter (no store ever targets the code region).
+func (h *sharedHierarchy) ifetch(core int, line mem.LineAddr, jump, timing bool) (sim.Cycle, bool) {
+	if h.l1i[core].Contains(line) {
+		h.l1i[core].Touch(line)
+		return 0, true
+	}
+	if !jump {
+		// Sequential transition: the next-line prefetcher has the line in
+		// flight; account the fill but charge no stall.
+		h.fillIFetch(core, line, false)
+		return 0, true
+	}
+	lat := h.fillIFetch(core, line, timing)
+	return lat, false
+}
+
+// fillIFetch brings an instruction line into the L1-I through the LLC,
+// returning the demand latency (0 in functional mode).
+func (h *sharedHierarchy) fillIFetch(core int, line mem.LineAddr, timing bool) sim.Cycle {
+	bank := h.bankOf(line)
+	h.st.LLCAccesses++
+	h.st.Reads++
+	lat := h.llcLatency(core, bank, line, timing)
+	if h.banks[bank].Contains(line) {
+		h.banks[bank].Touch(line)
+		h.st.LocalHits++
+	} else {
+		h.st.Misses++
+		lat += h.fillLLC(bank, line, cache.Shared, false, timing)
+	}
+	if h.l2 != nil {
+		h.insertL2(core, line)
+	}
+	h.l1i[core].Insert(line, cache.Shared)
+	return lat
+}
+
+// data handles loads and stores.
+func (h *sharedHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemporal, timing bool) (sim.Cycle, bool) {
+	line := addr.Line()
+	cfg := h.sys.cfg
+
+	if h.l1d[core].Contains(line) {
+		h.l1d[core].Touch(line)
+		if !write {
+			return 0, true
+		}
+		// Store hit: writable only if this core is the tracked dirty owner.
+		if h.snoop.DirtyOwner(line) == core {
+			return 0, true
+		}
+		// Upgrade at the LLC: invalidate peers, take ownership.
+		return h.writeTransaction(core, line, rwShared, nonTemporal, timing), false
+	}
+
+	// Optional private L2.
+	if h.l2 != nil && h.l2[core].Contains(line) {
+		h.l2[core].Touch(line)
+		h.l1d[core].Insert(line, cache.Shared)
+		if write {
+			if h.snoop.DirtyOwner(line) == core {
+				return cfg.L2Latency, false
+			}
+			return cfg.L2Latency + h.writeTransaction(core, line, rwShared, nonTemporal, timing), false
+		}
+		if !timing {
+			return 0, false
+		}
+		return cfg.L2Latency, false
+	}
+
+	// LLC access.
+	if write {
+		lat := h.writeTransaction(core, line, rwShared, nonTemporal, timing)
+		h.fillPrivate(core, line)
+		return lat, false
+	}
+	lat := h.readTransaction(core, line, rwShared, nonTemporal, timing)
+	h.fillPrivate(core, line)
+	return lat, false
+}
+
+// readTransaction performs an LLC read access with MESI handling.
+func (h *sharedHierarchy) readTransaction(core int, line mem.LineAddr, rwShared, nonTemporal, timing bool) sim.Cycle {
+	bank := h.bankOf(line)
+	h.st.LLCAccesses++
+	h.st.Reads++
+	lat := h.llcLatency(core, bank, line, timing)
+
+	forwarder, dirtied := h.snoop.Read(line, core)
+	if forwarder >= 0 && timing {
+		// Intervention: bank -> owner's L1 -> data back.
+		lat += h.sys.mesh.RoundTrip(bank, forwarder) + 3
+		h.st.Forwards++
+	} else if forwarder >= 0 {
+		h.st.Forwards++
+	}
+
+	if h.banks[bank].Contains(line) {
+		h.banks[bank].Touch(line)
+		if dirtied {
+			h.banks[bank].SetState(line, cache.Modified)
+		}
+		h.st.LocalHits++
+	} else {
+		h.st.Misses++
+		st := cache.Shared
+		if dirtied {
+			st = cache.Modified
+		}
+		lat += h.fillLLC(bank, line, st, nonTemporal, timing)
+	}
+	if rwShared && timing {
+		lat *= sim.Cycle(h.sys.cfg.RWSharedMult)
+	}
+	return lat
+}
+
+// writeTransaction performs an LLC write/upgrade access: peers invalidate,
+// the writer becomes dirty owner, the LLC copy is marked modified.
+func (h *sharedHierarchy) writeTransaction(core int, line mem.LineAddr, rwShared, nonTemporal, timing bool) sim.Cycle {
+	bank := h.bankOf(line)
+	h.st.LLCAccesses++
+	if rwShared {
+		h.st.WritesRWShared++
+	} else {
+		h.st.WritesPrivate++
+	}
+	lat := h.llcLatency(core, bank, line, timing)
+
+	invalidated, _ := h.snoop.Write(line, core)
+	if len(invalidated) > 0 {
+		h.st.Invalidations += uint64(len(invalidated))
+		far := sim.Cycle(0)
+		for _, c := range invalidated {
+			h.invalidatePrivate(c, line)
+			if timing {
+				if rt := h.sys.mesh.RoundTrip(bank, c); rt > far {
+					far = rt
+				}
+			}
+		}
+		lat += far
+	}
+
+	if h.banks[bank].Contains(line) {
+		h.banks[bank].Touch(line)
+		h.banks[bank].SetState(line, cache.Modified)
+		h.st.LocalHits++
+	} else {
+		h.st.Misses++
+		lat += h.fillLLC(bank, line, cache.Modified, nonTemporal, timing)
+	}
+	if rwShared && timing {
+		lat *= sim.Cycle(h.sys.cfg.RWSharedMult)
+	}
+	return lat
+}
+
+// fillLLC brings a line into an LLC bank from below (DRAM cache or
+// memory), handling victim writeback. Returns the below-LLC latency.
+func (h *sharedHierarchy) fillLLC(bank int, line mem.LineAddr, st cache.State, nonTemporal, timing bool) sim.Cycle {
+	var lat sim.Cycle
+	if h.dramCache != nil {
+		// Perfect miss prediction: a DRAM-cache miss goes straight to
+		// memory with no added latency; a hit is served at the DRAM-cache
+		// access time.
+		dlat, hit := h.dramCache.Access(mem.Addr(line))
+		if hit {
+			h.st.DRAMCacheHits++
+			if timing {
+				lat = dlat
+			}
+		} else {
+			h.st.MemAccesses++
+			if timing {
+				lat = h.sys.mainMem.Access(line)
+			}
+		}
+	} else {
+		h.st.MemAccesses++
+		if timing {
+			lat = h.sys.mainMem.Access(line)
+		}
+	}
+	var ev cache.Eviction
+	var evicted bool
+	if nonTemporal {
+		ev, evicted = h.banks[bank].InsertNonTemporal(line, st)
+	} else {
+		ev, evicted = h.banks[bank].Insert(line, st)
+	}
+	if evicted && ev.Dirty() {
+		h.st.MemWritebacks++
+		if timing {
+			h.sys.mainMem.Writeback(ev.Line)
+		}
+	}
+	return lat
+}
+
+// fillPrivate installs a line into the core's L1-D (and L2), updating the
+// snoop filter for the displaced victim.
+func (h *sharedHierarchy) fillPrivate(core int, line mem.LineAddr) {
+	if h.l2 != nil {
+		h.insertL2(core, line)
+	}
+	ev, evicted := h.l1d[core].Insert(line, cache.Shared)
+	if evicted {
+		h.evictPrivate(core, ev.Line)
+	}
+}
+
+// insertL2 installs a line into the core's L2, releasing the victim's
+// snoop tracking when it is in neither L1 nor L2 afterwards.
+func (h *sharedHierarchy) insertL2(core int, line mem.LineAddr) {
+	if h.l2[core].Contains(line) {
+		h.l2[core].Touch(line)
+		return
+	}
+	ev, evicted := h.l2[core].Insert(line, cache.Shared)
+	if evicted {
+		h.evictPrivate(core, ev.Line)
+	}
+}
+
+// evictPrivate tells the snoop filter a line left one private cache level,
+// but only when it is gone from all of the core's levels.
+func (h *sharedHierarchy) evictPrivate(core int, line mem.LineAddr) {
+	if h.l1d[core].Contains(line) || h.l1i[core].Contains(line) {
+		return
+	}
+	if h.l2 != nil && h.l2[core].Contains(line) {
+		return
+	}
+	h.snoop.Evict(line, core, false)
+}
+
+// invalidatePrivate removes a line from every private level of a core.
+func (h *sharedHierarchy) invalidatePrivate(core int, line mem.LineAddr) {
+	h.l1d[core].Invalidate(line)
+	if h.l2 != nil {
+		h.l2[core].Invalidate(line)
+	}
+}
+
+func (h *sharedHierarchy) check() string {
+	if msg := h.snoop.CheckInvariants(); msg != "" {
+		return msg
+	}
+	// L1 occupancy never exceeds the (scaled) capacity.
+	for c := 0; c < h.sys.cfg.Cores; c++ {
+		if h.l1d[c].Occupied() > int(h.l1d[c].SizeBytes()/mem.LineSize) {
+			return fmt.Sprintf("core %d L1D over capacity", c)
+		}
+	}
+	return ""
+}

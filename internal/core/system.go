@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/memctl"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// hierarchy is the system-specific memory organization beneath the cores.
+// Implementations handle both timed access (timing=true, returning the
+// total latency) and functional warm-up (timing=false, mutating cache and
+// coherence state only).
+type hierarchy interface {
+	// ifetch performs an instruction fetch. jump marks a non-sequential
+	// transfer (sequential transitions are next-line-prefetched and only
+	// maintain state). hit reports whether the access completed without
+	// leaving the L1/L2.
+	ifetch(core int, line mem.LineAddr, jump, timing bool) (lat sim.Cycle, hit bool)
+	// data performs a load or store. nonTemporal fills go in at LRU
+	// priority.
+	data(core int, addr mem.Addr, write, rwShared, nonTemporal, timing bool) (lat sim.Cycle, hit bool)
+	// stats returns the current counter values.
+	stats() Stats
+	// check validates internal invariants, returning "" when healthy.
+	check() string
+}
+
+// System is one simulated machine: cores with workload streams over a
+// hierarchy.
+type System struct {
+	cfg     Config
+	engine  *sim.Engine
+	mesh    *noc.Mesh
+	mainMem *memctl.Memory
+	hier    hierarchy
+	cores   []*cpu.Core
+	streams []*workload.Stream
+	started bool
+}
+
+// NewSystem builds a system running the given per-core workloads. specs
+// must contain either one spec (replicated to all cores) or exactly one
+// per core.
+func NewSystem(cfg Config, specs []workload.Spec) *System {
+	cfg.Validate()
+	perCore := make([]workload.Spec, cfg.Cores)
+	switch len(specs) {
+	case 1:
+		for i := range perCore {
+			perCore[i] = specs[0]
+		}
+	case cfg.Cores:
+		copy(perCore, specs)
+	default:
+		panic(fmt.Sprintf("core: %d specs for %d cores", len(specs), cfg.Cores))
+	}
+
+	engine := sim.NewEngine()
+	w, h := meshDims(cfg.Cores)
+	mesh := noc.New(w, h, cfg.HopLatency)
+	mainMem := memctl.New(engine, cfg.Memory)
+
+	s := &System{
+		cfg:     cfg,
+		engine:  engine,
+		mesh:    mesh,
+		mainMem: mainMem,
+	}
+	switch cfg.Kind {
+	case Baseline, BaselineDRAM, VaultsShared:
+		s.hier = newSharedHierarchy(s)
+	case SILO, SILOCO:
+		s.hier = newPrivateHierarchy(s)
+	}
+
+	s.streams = make([]*workload.Stream, cfg.Cores)
+	s.cores = make([]*cpu.Core, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		s.streams[c] = workload.NewStream(perCore[c], c, cfg.Cores, cfg.Scale, cfg.Seed)
+		s.cores[c] = cpu.New(engine, c, cpu.DefaultConfig(), s.streams[c], &coreAdapter{sys: s, core: c})
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Engine exposes the simulation engine (examples and tests).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// coreAdapter implements cpu.Hierarchy over the system hierarchy, turning
+// computed latencies into completion events.
+type coreAdapter struct {
+	sys  *System
+	core int
+}
+
+var _ cpu.Hierarchy = (*coreAdapter)(nil)
+
+func (a *coreAdapter) IFetch(core int, line mem.LineAddr, jump bool, done func()) bool {
+	lat, hit := a.sys.hier.ifetch(core, line, jump, true)
+	if hit && lat == 0 {
+		return true
+	}
+	a.sys.engine.Schedule(lat, done)
+	return false
+}
+
+func (a *coreAdapter) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool, done func()) bool {
+	lat, hit := a.sys.hier.data(core, addr, write, rwShared, nonTemporal, true)
+	if hit && lat == 0 {
+		return true
+	}
+	a.sys.engine.Schedule(lat, done)
+	return false
+}
+
+// WarmFunctional streams instrPerCore instructions per core through the
+// hierarchy with no timing, in round-robin chunks, bringing caches,
+// directories and the DRAM cache to steady state (the reproduction's
+// substitute for the paper's checkpoint-based warm-up).
+func (s *System) WarmFunctional(instrPerCore int) {
+	if s.started {
+		panic("core: warm-up after timing start")
+	}
+	const chunk = 2000
+	var op workload.Op
+	for done := 0; done < instrPerCore; done += chunk {
+		n := chunk
+		if instrPerCore-done < n {
+			n = instrPerCore - done
+		}
+		for c := 0; c < s.cfg.Cores; c++ {
+			st := s.streams[c]
+			for i := 0; i < n; i++ {
+				st.Next(&op)
+				if op.NewIFetchLine != 0 {
+					s.hier.ifetch(c, op.NewIFetchLine, op.Jump, false)
+				}
+				if op.IsMem {
+					s.hier.data(c, op.Addr, op.Write, op.RWShared, op.NonTemporal, false)
+				}
+			}
+		}
+	}
+}
+
+// Run starts the cores (if needed), runs warmCycles of timed warm-up, then
+// measures for measureCycles and returns the window's metrics — the
+// SMARTS-style scheme of paper Sec. VI-D.
+func (s *System) Run(warmCycles, measureCycles sim.Cycle) Metrics {
+	if !s.started {
+		for _, c := range s.cores {
+			c.Start()
+		}
+		s.started = true
+	}
+	s.engine.Run(s.engine.Now() + warmCycles)
+
+	startStats := s.hier.stats()
+	startRetired := make([]uint64, s.cfg.Cores)
+	var startTotal uint64
+	for i, c := range s.cores {
+		startRetired[i] = c.Retired
+		startTotal += c.Retired
+	}
+
+	s.engine.Run(s.engine.Now() + measureCycles)
+
+	m := Metrics{
+		Kind:           s.cfg.Kind,
+		Cycles:         measureCycles,
+		PerCoreRetired: make([]uint64, s.cfg.Cores),
+		Stats:          s.hier.stats().sub(startStats),
+	}
+	for i, c := range s.cores {
+		m.PerCoreRetired[i] = c.Retired - startRetired[i]
+		m.Retired += m.PerCoreRetired[i]
+	}
+	return m
+}
+
+// CheckInvariants exposes hierarchy invariant checking to tests.
+func (s *System) CheckInvariants() string { return s.hier.check() }
+
+// Prewarm seeds steady-state cache contents analytically: each core's
+// cache-resident footprints (instructions, middle and secondary sets,
+// shared pool) are replayed once through the functional access path,
+// interleaved across cores in chunks so shared structures see realistic
+// contention. Run this before WarmFunctional; together they substitute for
+// the paper's warmed checkpoints.
+func (s *System) Prewarm() {
+	if s.started {
+		panic("core: prewarm after timing start")
+	}
+	const chunk = 1024
+	type emitter struct {
+		addrs []mem.Addr
+		instr []bool
+		pos   int
+	}
+	ems := make([]*emitter, s.cfg.Cores)
+	for c := 0; c < s.cfg.Cores; c++ {
+		e := &emitter{}
+		s.streams[c].Prewarm(func(addr mem.Addr, instr bool) {
+			e.addrs = append(e.addrs, addr)
+			e.instr = append(e.instr, instr)
+		})
+		ems[c] = e
+	}
+	for {
+		remaining := false
+		for c := 0; c < s.cfg.Cores; c++ {
+			e := ems[c]
+			end := e.pos + chunk
+			if end > len(e.addrs) {
+				end = len(e.addrs)
+			}
+			for ; e.pos < end; e.pos++ {
+				if e.instr[e.pos] {
+					s.hier.ifetch(c, e.addrs[e.pos].Line(), true, false)
+				} else {
+					s.hier.data(c, e.addrs[e.pos], false, false, false, false)
+				}
+			}
+			if e.pos < len(e.addrs) {
+				remaining = true
+			}
+		}
+		if !remaining {
+			break
+		}
+	}
+}

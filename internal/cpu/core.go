@@ -1,0 +1,197 @@
+// Package cpu models the processor cores: 3-wide out-of-order engines with
+// a 128-entry ROB (paper Table II), approximated at the level the
+// evaluation depends on. What the paper's experiments measure is how LLC
+// hit latency and hit rate translate into stalls, which is governed by:
+//
+//   - issue width: instruction runs between misses retire at Width per cycle;
+//   - memory-level parallelism: an L1-D miss blocks the core only when the
+//     next instruction depends on it or the MLP window is full — server
+//     workloads' low MLP (paper Sec. II-B) makes LLC latency visible;
+//   - frontend stalls: instruction-fetch misses are always blocking.
+//
+// Compute work preceding a blocking miss is charged before the block, and
+// independent misses overlap freely within the MLP window, which is the
+// interval-model approximation of an OoO window.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Hierarchy is the memory system as seen by one core. Implementations
+// return sync=true when the access completed synchronously (an L1 hit);
+// otherwise they must call done exactly once at completion time.
+type Hierarchy interface {
+	// IFetch performs an instruction fetch of the given line. jump marks a
+	// non-sequential control transfer; sequential line transitions are
+	// covered by the next-line prefetcher and should complete
+	// synchronously.
+	IFetch(core int, line mem.LineAddr, jump bool, done func()) (sync bool)
+	// Data performs a data access. nonTemporal marks streaming
+	// accesses whose fills should not displace reused lines.
+	Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool, done func()) (sync bool)
+}
+
+// Config shapes the core model.
+type Config struct {
+	Width int // retire width (paper: 3)
+	// Burst bounds the instructions executed per scheduling quantum so the
+	// clock advances even on all-hit streams.
+	Burst int
+}
+
+// DefaultConfig is the paper's core at a practical quantum size.
+func DefaultConfig() Config { return Config{Width: 3, Burst: 48} }
+
+// Core drives one workload stream through the hierarchy.
+type Core struct {
+	ID     int
+	cfg    Config
+	engine *sim.Engine
+	stream *workload.Stream
+	path   Hierarchy
+	mlp    int
+
+	// Execution state.
+	running     bool
+	outstanding int
+	waitAny     bool   // blocked because the MLP window is full
+	waitToken   uint64 // blocked on this specific request (0 = none)
+	tokens      uint64
+	pendingRun  int       // instructions executed since last cycle charge
+	deferred    sim.Cycle // compute cycles owed when the current block resolves
+
+	// Statistics.
+	Retired     uint64
+	IFetchStall uint64 // blocking ifetch misses
+	DataBlocks  uint64 // blocking data misses
+	Overlapped  uint64 // data misses issued without blocking
+}
+
+// New builds a core. Start must be called to begin execution.
+func New(engine *sim.Engine, id int, cfg Config, stream *workload.Stream, path Hierarchy) *Core {
+	if cfg.Width <= 0 || cfg.Burst <= 0 {
+		panic(fmt.Sprintf("cpu: bad config %+v", cfg))
+	}
+	if stream == nil || path == nil {
+		panic("cpu: nil stream or hierarchy")
+	}
+	return &Core{
+		ID:     id,
+		cfg:    cfg,
+		engine: engine,
+		stream: stream,
+		path:   path,
+		mlp:    stream.Spec().MLP,
+	}
+}
+
+// Start schedules the core's first quantum.
+func (c *Core) Start() {
+	if c.running {
+		panic("cpu: core already started")
+	}
+	c.running = true
+	c.engine.Schedule(0, c.step)
+}
+
+// computeCycles converts an instruction run into cycles at the issue width.
+func (c *Core) computeCycles(instr int) sim.Cycle {
+	return sim.Cycle((instr + c.cfg.Width - 1) / c.cfg.Width)
+}
+
+// step executes instructions until the quantum is exhausted or the core
+// blocks on a memory access.
+func (c *Core) step() {
+	var op workload.Op
+	for executed := 0; executed < c.cfg.Burst; executed++ {
+		c.stream.Next(&op)
+
+		// Frontend: a new instruction line may miss the L1-I. Sequential
+		// line transitions are covered by the next-line prefetcher (the
+		// hierarchy still records them); jumps expose the fetch latency
+		// and always block.
+		if op.NewIFetchLine != 0 {
+			if sync := c.path.IFetch(c.ID, op.NewIFetchLine, op.Jump, c.resume); !sync {
+				c.IFetchStall++
+				c.block()
+				return
+			}
+		}
+
+		c.Retired++
+		c.pendingRun++
+
+		if !op.IsMem {
+			continue
+		}
+		tok := c.tokens + 1
+		c.tokens = tok
+		sync := c.path.Data(c.ID, op.Addr, op.Write, op.RWShared, op.Independent, op.NonTemporal, func() { c.dataDone(tok) })
+		if sync {
+			continue
+		}
+		c.outstanding++
+		switch {
+		case !op.Independent:
+			// The next instruction needs this value: block on it.
+			c.DataBlocks++
+			c.waitToken = tok
+			c.block()
+			return
+		case c.outstanding >= c.mlp:
+			// MLP window full: block until any completion.
+			c.DataBlocks++
+			c.waitAny = true
+			c.block()
+			return
+		default:
+			c.Overlapped++
+		}
+	}
+	// Quantum exhausted without blocking: charge its compute time.
+	run := c.pendingRun
+	c.pendingRun = 0
+	c.engine.Schedule(c.computeCycles(run), c.step)
+}
+
+// block records the compute cycles accumulated before a blocking miss so
+// resume can charge them. Modelling choice: pre-miss compute serializes
+// with the miss (charged on resume) rather than overlapping it; the same
+// conservative charge applies identically to every evaluated system.
+func (c *Core) block() {
+	c.deferred = c.computeCycles(c.pendingRun)
+	c.pendingRun = 0
+}
+
+// resume restarts execution after a blocking access completes, first paying
+// any compute cycles owed from before the block.
+func (c *Core) resume() {
+	d := c.deferred
+	c.deferred = 0
+	c.engine.Schedule(d, c.step)
+}
+
+// dataDone handles completion of an outstanding data miss.
+func (c *Core) dataDone(tok uint64) {
+	c.outstanding--
+	if c.outstanding < 0 {
+		panic("cpu: completion underflow")
+	}
+	if c.waitToken == tok {
+		c.waitToken = 0
+		c.resume()
+		return
+	}
+	if c.waitAny {
+		c.waitAny = false
+		c.resume()
+	}
+}
+
+// Outstanding reports in-flight data misses (for tests).
+func (c *Core) Outstanding() int { return c.outstanding }

@@ -1,0 +1,281 @@
+// Package dram models DRAM array geometry, area, and access latency. It is
+// the reproduction's substitute for CACTI-3DD at the 22 nm node (paper
+// Sec. VI-B) and drives three artifacts:
+//
+//   - Fig 7:  access latency and die area as a function of tile dimensions;
+//   - Fig 8:  vault capacity vs access latency design-space scatter under a
+//     4-die, 5 mm²-per-die area budget;
+//   - Table I: the latency-optimized vs capacity-optimized vault designs.
+//
+// The model follows the paper's DRAM hierarchy (Sec. IV-A): a chip is
+// divided into banks; banks into subarrays sharing sense amplifiers; and
+// subarrays into tiles with local wordlines and drivers. Tile dimensions set
+// bitline length (rows) and local wordline length (columns). Short lines are
+// fast but demand more peripheral circuitry (a sense amplifier is ~100x a
+// cell, Sec. IV-B), so latency is bought with area.
+//
+// Area model, in cell-area units, for an R-row x C-column tile:
+//
+//	overhead(R,C) = saRows/R + driverCols/C + tileFixed/(R*C) + periphery
+//
+// where saRows is the sense-amplifier strip height, driverCols the local
+// wordline-driver strip width, tileFixed the per-tile decode/control block,
+// and periphery the bank/chip-level fixed fraction (I/O, global decoders).
+//
+// Latency model (normalized to a 1024x1024 commodity tile):
+//
+//	tNorm(R,C) = tBase + tPerCol*C + tPerRowSq*R²
+//
+// The quadratic row term captures RC-limited bitline sensing, the linear
+// column term local wordline propagation, and tBase the fixed
+// decode/sense/IO pipeline. Constants are calibrated so the published
+// anchors hold exactly (see model_test.go): shrinking tiles from 1024² to
+// 256² cuts latency 64 % for 49 % more area, and a further step to 128²
+// buys only 6 more points of latency for 150 % more area (paper Sec. IV-C).
+package dram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Geometry and latency calibration constants. See the package comment for
+// the functional form and DESIGN.md §2 for the calibration anchors.
+const (
+	// Area model (cell-area units).
+	saRows      = 100.0   // sense-amplifier strip height per tile, in cell heights
+	driverCols  = 26.45   // wordline-driver strip width per tile, in cell widths
+	tileFixed   = 16553.0 // per-tile decoder/control block, in cell areas
+	periphery   = 0.1     // bank + chip periphery as a fraction of cell area
+	cellAreaUM2 = 3.3368e-3
+	// Normalized latency model.
+	tBase     = 0.2533
+	tPerCol   = 3.125e-4
+	tPerRowSq = 4.0691e-7
+	// Physical latency scale for a die-stacked vault access (ns).
+	arrayScaleNS   = 15.8256 // ns for one normalized latency unit
+	fixedNS        = 0.27939 // TSV + IO mux fixed delay
+	routePerSqrtMM = 0.080691
+	// Die-stacking budget (paper Sec. IV-D): 4 DRAM dies, 5 mm² per vault
+	// footprint to match the core area beneath.
+	DiesPerVault = 4
+	DieAreaMM2   = 5.0
+	VaultAreaMM2 = DiesPerVault * DieAreaMM2
+	bitsPerMB    = 8 << 20
+)
+
+// Tile is a DRAM tile geometry: Rows cells per bitline, Cols cells per
+// local wordline.
+type Tile struct {
+	Rows, Cols int
+}
+
+func (t Tile) String() string { return fmt.Sprintf("%dx%d", t.Rows, t.Cols) }
+
+// valid reports whether the tile has positive dimensions.
+func (t Tile) valid() bool { return t.Rows > 0 && t.Cols > 0 }
+
+// overhead returns total area divided by cell area for this tile geometry.
+func (t Tile) overhead() float64 {
+	r, c := float64(t.Rows), float64(t.Cols)
+	return 1 + saRows/r + driverCols/c + tileFixed/(r*c) + periphery
+}
+
+// AreaEfficiency is DRAM cell area divided by total chip area
+// (paper Sec. IV-A definition).
+func (t Tile) AreaEfficiency() float64 { return 1 / t.overhead() }
+
+// NormLatency is array access latency normalized to the 1024x1024
+// commodity baseline tile.
+func (t Tile) NormLatency() float64 {
+	r, c := float64(t.Rows), float64(t.Cols)
+	return tBase + tPerCol*c + tPerRowSq*r*r
+}
+
+// CommodityTile is the Micron-DDR3-like density-optimized baseline tile
+// (paper Fig 7 baseline).
+var CommodityTile = Tile{Rows: 1024, Cols: 1024}
+
+// TilePoint is one point of the Fig 7 tile-dimension sweep.
+type TilePoint struct {
+	Tile    Tile
+	Latency float64 // normalized to the 1024x1024 baseline
+	Area    float64 // die area normalized to the 1024x1024 baseline
+}
+
+// TileSweep reproduces Fig 7: a square-tile sweep of a fixed-capacity die,
+// reporting access latency and die area normalized to the 1024x1024
+// baseline, from largest to smallest tile.
+func TileSweep() []TilePoint {
+	dims := []int{1024, 512, 256, 128, 64}
+	baseL := CommodityTile.NormLatency()
+	baseA := CommodityTile.overhead()
+	pts := make([]TilePoint, 0, len(dims))
+	for _, d := range dims {
+		t := Tile{Rows: d, Cols: d}
+		pts = append(pts, TilePoint{
+			Tile:    t,
+			Latency: t.NormLatency() / baseL,
+			Area:    t.overhead() / baseA,
+		})
+	}
+	return pts
+}
+
+// VaultDesign is one candidate organization of a die-stacked vault: a tile
+// geometry plus a storage capacity, with derived area and timing.
+type VaultDesign struct {
+	Tile       Tile
+	CapacityMB int
+}
+
+// bits returns the vault storage capacity in bits (= DRAM cells).
+func (d VaultDesign) bits() float64 { return float64(d.CapacityMB) * bitsPerMB }
+
+// AreaMM2 is the total silicon area of the vault across all stacked dies.
+func (d VaultDesign) AreaMM2() float64 {
+	return d.bits() * cellAreaUM2 * d.Tile.overhead() / 1e6
+}
+
+// Fits reports whether the design fits the 4-die x 5 mm² vault budget.
+func (d VaultDesign) Fits() bool {
+	return d.Tile.valid() && d.CapacityMB > 0 && d.AreaMM2() <= VaultAreaMM2+1e-9
+}
+
+// AccessNS is the unloaded vault array access latency in nanoseconds:
+// fixed TSV/IO delay + scaled array time + global routing across the
+// occupied area.
+func (d VaultDesign) AccessNS() float64 {
+	return fixedNS + arrayScaleNS*d.Tile.NormLatency() + routePerSqrtMM*math.Sqrt(d.AreaMM2())
+}
+
+// AccessCycles converts AccessNS to CPU cycles at the given clock.
+func (d VaultDesign) AccessCycles(ghz float64) int {
+	return int(math.Round(d.AccessNS() * ghz))
+}
+
+// Tiles is the total number of tiles in the vault.
+func (d VaultDesign) Tiles() int64 {
+	return int64(d.bits()) / int64(d.Tile.Rows*d.Tile.Cols)
+}
+
+// Banks derives the vault bank count: tiles are grouped so a bank spans
+// roughly 2730 tiles (≈0.6 mm² of array in this technology), clamped to
+// [8, 64] and rounded to a power of two. Latency-optimized designs with
+// many small tiles therefore get many banks — the paper's "large number of
+// banks per vault" optimization — while capacity-optimized designs get few.
+func (d VaultDesign) Banks() int {
+	raw := float64(d.Tiles()) / 2730
+	b := 8
+	for float64(b*2) <= raw && b < 64 {
+		b *= 2
+	}
+	return b
+}
+
+func (d VaultDesign) String() string {
+	return fmt.Sprintf("%dMB tile=%s %.2fmm² %.2fns", d.CapacityMB, d.Tile, d.AreaMM2(), d.AccessNS())
+}
+
+// tileGrid is the sweep grid for bitline/wordline divisions (Ndbl/Ndwl in
+// the paper's terms): powers of two plus the 1.5x intermediate steps that
+// asymmetric subarray divisions afford.
+var tileGrid = []int{16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024}
+
+// vaultCapacitiesMB is the capacity sweep used in Fig 8.
+var vaultCapacitiesMB = []int{8, 16, 32, 64, 128, 256, 512}
+
+// EnumerateVaultDesigns returns every design on the sweep grid that fits
+// the vault area budget, sorted by (capacity, access latency). This is the
+// scatter of Fig 8.
+func EnumerateVaultDesigns() []VaultDesign {
+	var out []VaultDesign
+	for _, mb := range vaultCapacitiesMB {
+		for _, r := range tileGrid {
+			for _, c := range tileGrid {
+				d := VaultDesign{Tile: Tile{Rows: r, Cols: c}, CapacityMB: mb}
+				if d.Fits() {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CapacityMB != out[j].CapacityMB {
+			return out[i].CapacityMB < out[j].CapacityMB
+		}
+		return out[i].AccessNS() < out[j].AccessNS()
+	})
+	return out
+}
+
+// BestDesign returns the lowest-latency design for the given capacity, or
+// false when no design on the grid fits the budget.
+func BestDesign(capacityMB int) (VaultDesign, bool) {
+	best := VaultDesign{}
+	found := false
+	for _, r := range tileGrid {
+		for _, c := range tileGrid {
+			d := VaultDesign{Tile: Tile{Rows: r, Cols: c}, CapacityMB: capacityMB}
+			if !d.Fits() {
+				continue
+			}
+			if !found || d.AccessNS() < best.AccessNS() {
+				best, found = d, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Envelope returns, for each swept capacity, the lowest-latency feasible
+// design — the lower envelope of the Fig 8 scatter.
+func Envelope() []VaultDesign {
+	var out []VaultDesign
+	for _, mb := range vaultCapacitiesMB {
+		if d, ok := BestDesign(mb); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LatencyOptimized returns the paper's chosen design point: the 256 MB
+// vault at ~5.5 ns that SILO uses (Sec. IV-D).
+func LatencyOptimized() VaultDesign {
+	d, ok := BestDesign(256)
+	if !ok {
+		panic("dram: no feasible 256MB design")
+	}
+	return d
+}
+
+// CapacityOptimized returns the alternative design point: the largest
+// feasible capacity (512 MB) at its best latency, used by SILO-CO and
+// representative of traditional capacity-first DRAM.
+func CapacityOptimized() VaultDesign {
+	d, ok := BestDesign(512)
+	if !ok {
+		panic("dram: no feasible 512MB design")
+	}
+	return d
+}
+
+// Comparison mirrors paper Table I: capacity-optimized values normalized to
+// the latency-optimized design point.
+type Comparison struct {
+	AreaEfficiencyRatio float64 // capacity-opt / latency-opt (paper: 1.74x)
+	TilesRatio          float64 // capacity-opt / latency-opt (paper: 0.25x)
+	LatencyRatio        float64 // capacity-opt / latency-opt (paper: 1.8x)
+}
+
+// CompareDesignPoints computes Table I from the two canonical designs.
+func CompareDesignPoints() Comparison {
+	lo, co := LatencyOptimized(), CapacityOptimized()
+	return Comparison{
+		AreaEfficiencyRatio: co.Tile.AreaEfficiency() / lo.Tile.AreaEfficiency(),
+		TilesRatio:          float64(co.Tiles()) / float64(lo.Tiles()),
+		LatencyRatio:        co.AccessNS() / lo.AccessNS(),
+	}
+}

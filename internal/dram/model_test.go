@@ -1,0 +1,236 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// Paper Sec. IV-C anchors: 1024x1024 -> 256x256 cuts latency by 64% and
+// costs 49% more area; 128x128 buys only 6 more points of latency for a
+// total of +150% area.
+func TestFig7Anchors(t *testing.T) {
+	base := CommodityTile
+	t256 := Tile{256, 256}
+	t128 := Tile{128, 128}
+
+	latBase := base.NormLatency()
+	approx(t, "lat(256)/lat(1024)", t256.NormLatency()/latBase, 0.36, 0.005)
+	approx(t, "lat(128)/lat(1024)", t128.NormLatency()/latBase, 0.30, 0.005)
+
+	areaBase := base.overhead()
+	approx(t, "area(256)/area(1024)", t256.overhead()/areaBase, 1.49, 0.01)
+	approx(t, "area(128)/area(1024)", t128.overhead()/areaBase, 2.50, 0.01)
+}
+
+func TestTileSweepShape(t *testing.T) {
+	pts := TileSweep()
+	if len(pts) != 5 {
+		t.Fatalf("TileSweep returned %d points, want 5", len(pts))
+	}
+	if pts[0].Tile != CommodityTile || pts[0].Latency != 1 || pts[0].Area != 1 {
+		t.Fatalf("first point should be the normalized baseline, got %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Latency >= pts[i-1].Latency {
+			t.Errorf("latency not decreasing at %v", pts[i].Tile)
+		}
+		if pts[i].Area <= pts[i-1].Area {
+			t.Errorf("area not increasing at %v", pts[i].Tile)
+		}
+	}
+	// Diminishing returns: the last step (128 -> 64) buys <4 points of
+	// latency for a huge area cost.
+	last, prev := pts[4], pts[3]
+	if prev.Latency-last.Latency > 0.04 {
+		t.Errorf("64x64 latency gain %v too large", prev.Latency-last.Latency)
+	}
+	if last.Area/prev.Area < 1.5 {
+		t.Errorf("64x64 area blow-up %v too small", last.Area/prev.Area)
+	}
+}
+
+// Paper Sec. IV-D anchors for the vault design space (Fig 8).
+func TestFig8EnvelopeAnchors(t *testing.T) {
+	env := map[int]VaultDesign{}
+	for _, d := range Envelope() {
+		env[d.CapacityMB] = d
+	}
+	for _, mb := range []int{8, 16, 32, 64, 128, 256, 512} {
+		if _, ok := env[mb]; !ok {
+			t.Fatalf("no feasible design for %dMB", mb)
+		}
+	}
+	l8 := env[8].AccessNS()
+	l128 := env[128].AccessNS()
+	l256 := env[256].AccessNS()
+	l512 := env[512].AccessNS()
+
+	// 8MB -> 128MB: 16x capacity for <10% latency.
+	if r := l128 / l8; r > 1.10 {
+		t.Errorf("128MB/8MB latency ratio = %v, want <= 1.10", r)
+	}
+	// 256MB is the sweet spot at ~5.5ns.
+	approx(t, "256MB latency (ns)", l256, 5.5, 0.1)
+	// 128 -> 256MB costs a modest increase (paper ~15%; model ~10%).
+	if r := l256 / l128; r < 1.05 || r > 1.20 {
+		t.Errorf("256MB/128MB latency ratio = %v, want ~1.1-1.15", r)
+	}
+	// 256 -> 512MB explodes (~+80%).
+	if r := l512 / l256; r < 1.6 || r > 2.0 {
+		t.Errorf("512MB/256MB latency ratio = %v, want ~1.8", r)
+	}
+}
+
+func TestEnvelopeMonotone(t *testing.T) {
+	env := Envelope()
+	for i := 1; i < len(env); i++ {
+		if env[i].AccessNS() < env[i-1].AccessNS()-1e-9 {
+			t.Errorf("envelope latency decreased from %dMB to %dMB", env[i-1].CapacityMB, env[i].CapacityMB)
+		}
+	}
+}
+
+func TestTable1Comparison(t *testing.T) {
+	c := CompareDesignPoints()
+	// Paper Table I: 1.74x area efficiency, 0.25x tiles, 1.8x latency.
+	if c.AreaEfficiencyRatio < 1.5 || c.AreaEfficiencyRatio > 2.0 {
+		t.Errorf("area efficiency ratio = %v, want ~1.74", c.AreaEfficiencyRatio)
+	}
+	if c.TilesRatio >= 0.5 {
+		t.Errorf("tiles ratio = %v, want well below 1 (paper 0.25)", c.TilesRatio)
+	}
+	if c.LatencyRatio < 1.6 || c.LatencyRatio > 2.0 {
+		t.Errorf("latency ratio = %v, want ~1.8", c.LatencyRatio)
+	}
+}
+
+// Table II cross-check: the latency-optimized 256MB vault is an 11-cycle
+// array access at 2GHz; the capacity-optimized 512MB vault is ~20 cycles.
+func TestTable2VaultCycles(t *testing.T) {
+	lo := LatencyOptimized()
+	if lo.CapacityMB != 256 {
+		t.Fatalf("latency-optimized capacity = %dMB, want 256", lo.CapacityMB)
+	}
+	if got := lo.AccessCycles(2.0); got != 11 {
+		t.Errorf("latency-optimized access = %d cycles @2GHz, want 11", got)
+	}
+	co := CapacityOptimized()
+	if co.CapacityMB != 512 {
+		t.Fatalf("capacity-optimized capacity = %dMB, want 512", co.CapacityMB)
+	}
+	if got := co.AccessCycles(2.0); got < 19 || got > 21 {
+		t.Errorf("capacity-optimized access = %d cycles @2GHz, want ~20", got)
+	}
+}
+
+func TestVaultDesignFits(t *testing.T) {
+	// The commodity tile easily fits small capacities.
+	d := VaultDesign{Tile: CommodityTile, CapacityMB: 64}
+	if !d.Fits() {
+		t.Error("64MB commodity design should fit")
+	}
+	// Nothing fits 1GB in this budget.
+	if _, ok := BestDesign(1024); ok {
+		t.Error("1GB should not fit the 4x5mm² budget")
+	}
+	// Degenerate designs are rejected.
+	if (VaultDesign{Tile: Tile{0, 64}, CapacityMB: 8}).Fits() {
+		t.Error("zero-row tile should not fit")
+	}
+	if (VaultDesign{Tile: Tile{64, 64}, CapacityMB: 0}).Fits() {
+		t.Error("zero-capacity design should not fit")
+	}
+}
+
+func TestBanksDerivation(t *testing.T) {
+	lo, co := LatencyOptimized(), CapacityOptimized()
+	if lo.Banks() <= co.Banks() {
+		t.Errorf("latency-optimized banks (%d) should exceed capacity-optimized (%d)",
+			lo.Banks(), co.Banks())
+	}
+	if lo.Banks() != 32 {
+		t.Errorf("latency-optimized banks = %d, want 32", lo.Banks())
+	}
+	if co.Banks() != 8 {
+		t.Errorf("capacity-optimized banks = %d, want 8", co.Banks())
+	}
+}
+
+func TestEnumerationSortedAndFeasible(t *testing.T) {
+	all := EnumerateVaultDesigns()
+	if len(all) == 0 {
+		t.Fatal("no designs enumerated")
+	}
+	for i, d := range all {
+		if !d.Fits() {
+			t.Fatalf("enumerated design %v does not fit", d)
+		}
+		if i > 0 {
+			prev := all[i-1]
+			if d.CapacityMB < prev.CapacityMB {
+				t.Fatal("not sorted by capacity")
+			}
+			if d.CapacityMB == prev.CapacityMB && d.AccessNS() < prev.AccessNS()-1e-12 {
+				t.Fatal("not sorted by latency within capacity")
+			}
+		}
+	}
+}
+
+// Properties of the analytic model.
+func TestModelProperties(t *testing.T) {
+	// Latency increases with rows and cols.
+	f := func(r1, c1 uint8) bool {
+		r := 16 + int(r1)%1000
+		c := 16 + int(c1)%1000
+		a := Tile{r, c}
+		b := Tile{r + 16, c}
+		d := Tile{r, c + 16}
+		return b.NormLatency() > a.NormLatency() && d.NormLatency() > a.NormLatency()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatalf("latency monotonicity: %v", err)
+	}
+	// Area efficiency increases with tile size and never exceeds 1/(1+periphery).
+	g := func(r1, c1 uint8) bool {
+		r := 16 + int(r1)%1000
+		c := 16 + int(c1)%1000
+		a := Tile{r, c}
+		b := Tile{r * 2, c * 2}
+		if b.AreaEfficiency() <= a.AreaEfficiency() {
+			return false
+		}
+		return a.AreaEfficiency() < 1/(1+periphery)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatalf("efficiency monotonicity: %v", err)
+	}
+	// Area scales linearly with capacity for a fixed tile.
+	h := func(mb uint8) bool {
+		m := 1 + int(mb)%512
+		d1 := VaultDesign{Tile: Tile{128, 128}, CapacityMB: m}
+		d2 := VaultDesign{Tile: Tile{128, 128}, CapacityMB: 2 * m}
+		return math.Abs(d2.AreaMM2()-2*d1.AreaMM2()) < 1e-9
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Fatalf("area linearity: %v", err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if (Tile{128, 64}).String() != "128x64" {
+		t.Error("Tile.String format changed")
+	}
+	s := LatencyOptimized().String()
+	if s == "" {
+		t.Error("empty design string")
+	}
+}

@@ -1,0 +1,109 @@
+// Package dramcache models the conventional off-die DRAM cache of the
+// Baseline+DRAM$ system (paper Sec. VI-A): 8 GB, hardware-managed,
+// page-based, direct-mapped, built from commodity DRAM. Following the
+// paper's optimistic assumptions, it has a flat 40 ns access (20 % faster
+// than main memory), perfect miss prediction (a miss costs nothing extra:
+// the request goes straight to memory), and infinite bandwidth.
+//
+// Pages are allocated on demand: a miss allocates the 2 KB page containing
+// the line, so subsequent accesses to neighbouring lines hit — the
+// page-based "footprint" behaviour the paper attributes to state-of-the-art
+// server DRAM caches.
+package dramcache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config sizes the conventional DRAM cache.
+type Config struct {
+	SizeBytes    int64
+	PageBytes    int64
+	AccessCycles sim.Cycle // hit latency (40ns = 80 cycles at 2GHz)
+}
+
+// Default returns the paper's configuration at the given core clock:
+// 8 GB, 2 KB pages, 40 ns access.
+func Default(ghz float64) Config {
+	return Config{
+		SizeBytes:    8 << 30,
+		PageBytes:    2 << 10,
+		AccessCycles: sim.Cycle(40 * ghz),
+	}
+}
+
+// Cache is a direct-mapped page-granular DRAM cache.
+type Cache struct {
+	cfg   Config
+	pages []uint64 // tag per direct-mapped page frame; 0 = empty
+	// Stats.
+	Hits       uint64
+	Misses     uint64
+	Allocs     uint64
+	PageEvicts uint64
+}
+
+// New builds the cache. Sizes must be powers of two with at least one page.
+func New(cfg Config) *Cache {
+	if cfg.PageBytes <= 0 || cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		panic(fmt.Sprintf("dramcache: page size %d not a power of two", cfg.PageBytes))
+	}
+	if cfg.SizeBytes < cfg.PageBytes || cfg.SizeBytes%cfg.PageBytes != 0 {
+		panic(fmt.Sprintf("dramcache: size %d not divisible into %dB pages", cfg.SizeBytes, cfg.PageBytes))
+	}
+	frames := cfg.SizeBytes / cfg.PageBytes
+	if frames&(frames-1) != 0 {
+		panic(fmt.Sprintf("dramcache: frame count %d not a power of two", frames))
+	}
+	return &Cache{cfg: cfg, pages: make([]uint64, frames)}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// pageTag returns a non-zero identifier for the page containing addr.
+// Adding 1 keeps tag 0 meaning "empty frame" while remaining injective.
+func (c *Cache) pageTag(addr mem.Addr) uint64 {
+	return uint64(addr)/uint64(c.cfg.PageBytes) + 1
+}
+
+func (c *Cache) frame(addr mem.Addr) int {
+	return int((uint64(addr) / uint64(c.cfg.PageBytes)) & uint64(len(c.pages)-1))
+}
+
+// Contains reports whether the page holding addr is cached.
+func (c *Cache) Contains(addr mem.Addr) bool {
+	return c.pages[c.frame(addr)] == c.pageTag(addr)
+}
+
+// Access performs one access: on a hit it returns (AccessCycles, true); on
+// a miss it allocates the page (perfect miss prediction means the miss
+// itself adds no latency — the caller goes to memory in parallel) and
+// returns (0, false).
+func (c *Cache) Access(addr mem.Addr) (sim.Cycle, bool) {
+	f := c.frame(addr)
+	t := c.pageTag(addr)
+	if c.pages[f] == t {
+		c.Hits++
+		return c.cfg.AccessCycles, true
+	}
+	c.Misses++
+	if c.pages[f] != 0 {
+		c.PageEvicts++
+	}
+	c.pages[f] = t
+	c.Allocs++
+	return 0, false
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

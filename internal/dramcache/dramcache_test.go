@@ -1,0 +1,117 @@
+package dramcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func small() *Cache {
+	// 8 pages of 2KB for conflict testing.
+	return New(Config{SizeBytes: 16 << 10, PageBytes: 2 << 10, AccessCycles: 80})
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Default(2.0)
+	if cfg.SizeBytes != 8<<30 || cfg.PageBytes != 2<<10 {
+		t.Fatalf("unexpected default geometry: %+v", cfg)
+	}
+	if cfg.AccessCycles != 80 { // 40ns at 2GHz
+		t.Fatalf("access = %d cycles, want 80", cfg.AccessCycles)
+	}
+}
+
+func TestMissThenPageHit(t *testing.T) {
+	c := small()
+	lat, hit := c.Access(0x1000)
+	if hit || lat != 0 {
+		t.Fatalf("first access should miss with zero latency (perfect missmap), got %d %v", lat, hit)
+	}
+	// Same line hits.
+	if lat, hit := c.Access(0x1000); !hit || lat != 80 {
+		t.Fatalf("second access should hit at 80 cycles, got %d %v", lat, hit)
+	}
+	// A different line in the same 2KB page also hits (footprint effect).
+	if _, hit := c.Access(0x17C0); !hit {
+		t.Fatal("neighbouring line in page should hit")
+	}
+	// A line in the next page misses.
+	if _, hit := c.Access(0x1800); hit {
+		t.Fatal("next page should miss")
+	}
+}
+
+func TestDirectMappedPageConflict(t *testing.T) {
+	c := small() // 8 frames: pages 0 and 8 collide
+	c.Access(0)
+	c.Access(8 * 2048)
+	if c.PageEvicts != 1 {
+		t.Fatalf("PageEvicts = %d, want 1", c.PageEvicts)
+	}
+	if _, hit := c.Access(0); hit {
+		t.Fatal("page 0 should have been evicted by page 8")
+	}
+}
+
+func TestAddressZeroIsCacheable(t *testing.T) {
+	c := small()
+	c.Access(0)
+	if !c.Contains(0) {
+		t.Fatal("address 0 must be representable (tag 0 reserved for empty)")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := small()
+	if c.HitRate() != 0 {
+		t.Fatal("empty cache hit rate should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	if hr := c.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate = %v, want 2/3", hr)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 16 << 10, PageBytes: 0},
+		{SizeBytes: 16 << 10, PageBytes: 3000},
+		{SizeBytes: 1 << 10, PageBytes: 2 << 10},
+		{SizeBytes: 3 << 11, PageBytes: 2 << 10}, // 3 frames
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: after accessing addr, Contains(addr) is true and every address
+// in the same page hits; accounting stays consistent.
+func TestPageResidency(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := small()
+		for _, a := range addrs {
+			addr := mem.Addr(a)
+			c.Access(addr)
+			if !c.Contains(addr) {
+				return false
+			}
+			base := addr &^ mem.Addr(c.Config().PageBytes-1)
+			if !c.Contains(base) || !c.Contains(base+mem.Addr(c.Config().PageBytes-1)) {
+				return false
+			}
+		}
+		return c.Hits+c.Misses == uint64(len(addrs)) && c.Allocs == c.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// --- Fig 7 / Fig 8 / Table I: DRAM technology studies ---------------------
+
+// Fig7 returns the tile-dimension sweep (analytical; no simulation).
+func Fig7() []dram.TilePoint { return dram.TileSweep() }
+
+// Fig7String renders Fig 7 as a table.
+func Fig7String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 7: effect of DRAM tile dimensions (normalized to 1024x1024)")
+	fmt.Fprintln(&b, header("tile", "latency", "area"))
+	for _, p := range Fig7() {
+		fmt.Fprintf(&b, "%s\t%.3f\t%.3f\n", p.Tile, p.Latency, p.Area)
+	}
+	return b.String()
+}
+
+// Fig8Result is the vault design space: the feasible scatter and its
+// lower envelope.
+type Fig8Result struct {
+	Designs  []dram.VaultDesign
+	Envelope []dram.VaultDesign
+}
+
+// Fig8 enumerates vault designs under the 4-die x 5mm² budget.
+func Fig8() Fig8Result {
+	return Fig8Result{Designs: dram.EnumerateVaultDesigns(), Envelope: dram.Envelope()}
+}
+
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8: vault capacity vs access latency (%d feasible designs; envelope below)\n", len(r.Designs))
+	fmt.Fprintln(&b, header("capacity", "tile", "latency(ns)", "area(mm²)", "banks"))
+	for _, d := range r.Envelope {
+		fmt.Fprintf(&b, "%dMB\t%s\t%.2f\t%.2f\t%d\n", d.CapacityMB, d.Tile, d.AccessNS(), d.AreaMM2(), d.Banks())
+	}
+	return b.String()
+}
+
+// Table1 returns the latency- vs capacity-optimized comparison.
+func Table1() dram.Comparison { return dram.CompareDesignPoints() }
+
+// Table1String renders Table I.
+func Table1String() string {
+	c := Table1()
+	lo, co := dram.LatencyOptimized(), dram.CapacityOptimized()
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table I: latency- vs capacity-optimized vault (normalized to latency-optimized)")
+	fmt.Fprintln(&b, header("metric", "latency-opt", "capacity-opt", "paper"))
+	fmt.Fprintf(&b, "area efficiency\t1x\t%.2fx\t1.74x\n", c.AreaEfficiencyRatio)
+	fmt.Fprintf(&b, "number of tiles\t1x\t%.2fx\t0.25x\n", c.TilesRatio)
+	fmt.Fprintf(&b, "access latency\t1x\t%.2fx\t1.8x\n", c.LatencyRatio)
+	fmt.Fprintf(&b, "(points: %s | %s)\n", lo, co)
+	return b.String()
+}
+
+// --- Fig 10 / Fig 14: system comparison ------------------------------------
+
+// systemConfigs returns the five evaluated systems at the given core count.
+func systemConfigs(cores int) []core.Config {
+	return []core.Config{
+		core.BaselineConfig(cores),
+		core.BaselineDRAMConfig(cores),
+		core.SILOConfig(cores),
+		core.SILOCOConfig(cores),
+		core.VaultsSharedConfig(cores),
+	}
+}
+
+// CompareResult holds per-workload performance of each system normalized
+// to the baseline, plus the geomean row.
+type CompareResult struct {
+	Title     string
+	Systems   []string
+	Workloads []string
+	// Norm[w][s]: workload w on system s, normalized to the baseline.
+	Norm    [][]float64
+	Geomean []float64
+}
+
+// compare runs a suite across the five systems.
+func compare(title string, suite []workload.Spec, m Mode) CompareResult {
+	cfgs := systemConfigs(16)
+	res := CompareResult{Title: title}
+	for _, c := range cfgs {
+		res.Systems = append(res.Systems, c.Kind.String())
+	}
+	perSystem := make([][]float64, len(cfgs))
+	for _, spec := range suite {
+		res.Workloads = append(res.Workloads, spec.Name)
+		base := 0.0
+		row := make([]float64, len(cfgs))
+		for si, cfg := range cfgs {
+			ipc := ipcOf(cfg, spec, m)
+			if si == 0 {
+				base = ipc
+			}
+			row[si] = ipc / base
+			perSystem[si] = append(perSystem[si], row[si])
+		}
+		res.Norm = append(res.Norm, row)
+	}
+	for _, col := range perSystem {
+		res.Geomean = append(res.Geomean, stats.Geomean(col))
+	}
+	return res
+}
+
+// Fig10 compares the five systems on the scale-out suite — paper Fig 10.
+func Fig10(m Mode) CompareResult {
+	return compare("Fig 10: performance on scale-out workloads (normalized to Baseline)",
+		workload.ScaleOutSuite(), m)
+}
+
+// Fig14 compares the five systems on the enterprise suite — paper Fig 14.
+func Fig14(m Mode) CompareResult {
+	return compare("Fig 14: performance on enterprise workloads (normalized to Baseline)",
+		workload.EnterpriseSuite(), m)
+}
+
+func (r CompareResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, r.Title)
+	fmt.Fprintln(&b, header(append([]string{"workload"}, r.Systems...)...))
+	for i, w := range r.Workloads {
+		fmt.Fprintf(&b, "%s\t%s\n", w, fmtRow(r.Norm[i]))
+	}
+	fmt.Fprintf(&b, "Geomean\t%s\n", fmtRow(r.Geomean))
+	return b.String()
+}
+
+// SpeedupOf returns the geomean speedup of the named system over baseline.
+func (r CompareResult) SpeedupOf(system string) float64 {
+	for i, s := range r.Systems {
+		if s == system {
+			return r.Geomean[i]
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown system %q", system))
+}
+
+// WorkloadSpeedup returns one workload's speedup on the named system.
+func (r CompareResult) WorkloadSpeedup(wl, system string) float64 {
+	wi, si := -1, -1
+	for i, w := range r.Workloads {
+		if w == wl {
+			wi = i
+		}
+	}
+	for i, s := range r.Systems {
+		if s == system {
+			si = i
+		}
+	}
+	if wi < 0 || si < 0 {
+		panic(fmt.Sprintf("experiments: unknown cell %q/%q", wl, system))
+	}
+	return r.Norm[wi][si]
+}
+
+// --- Fig 11: LLC hit/miss breakdown ---------------------------------------
+
+// Fig11Result decomposes LLC accesses into local hits, remote hits and
+// off-chip misses for Baseline vs SILO, normalized to each system's
+// accesses.
+type Fig11Result struct {
+	Workloads []string
+	// Fractions per workload, baseline then SILO.
+	BaseLocal, BaseMiss             []float64
+	SILOLocal, SILORemote, SILOMiss []float64
+	// MissReduction[w] = 1 - SILO misses/instr / baseline misses/instr.
+	MissReduction []float64
+}
+
+// Fig11 measures hit locality — paper Fig 11.
+func Fig11(m Mode) Fig11Result {
+	var res Fig11Result
+	for _, spec := range workload.ScaleOutSuite() {
+		res.Workloads = append(res.Workloads, spec.Name)
+		mb := runOne(core.BaselineConfig(16), []workload.Spec{spec}, m)
+		ms := runOne(core.SILOConfig(16), []workload.Spec{spec}, m)
+		bt := float64(mb.Stats.LLCAccesses)
+		st := float64(ms.Stats.LLCAccesses)
+		res.BaseLocal = append(res.BaseLocal, float64(mb.Stats.LocalHits)/bt)
+		res.BaseMiss = append(res.BaseMiss, float64(mb.Stats.Misses)/bt)
+		res.SILOLocal = append(res.SILOLocal, float64(ms.Stats.LocalHits)/st)
+		res.SILORemote = append(res.SILORemote, float64(ms.Stats.RemoteHits)/st)
+		res.SILOMiss = append(res.SILOMiss, float64(ms.Stats.Misses)/st)
+		bMPKI := float64(mb.Stats.Misses) / float64(mb.Retired)
+		sMPKI := float64(ms.Stats.Misses) / float64(ms.Retired)
+		res.MissReduction = append(res.MissReduction, 1-sMPKI/bMPKI)
+	}
+	return res
+}
+
+func (r Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 11: LLC access decomposition (fractions) and miss reduction")
+	fmt.Fprintln(&b, header("workload", "base-local", "base-miss", "silo-local", "silo-remote", "silo-miss", "miss-reduction"))
+	for i, w := range r.Workloads {
+		fmt.Fprintf(&b, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.0f%%\n", w,
+			r.BaseLocal[i], r.BaseMiss[i], r.SILOLocal[i], r.SILORemote[i], r.SILOMiss[i], 100*r.MissReduction[i])
+	}
+	return b.String()
+}
+
+// --- Fig 12: SILO performance optimizations -------------------------------
+
+// Fig12Result holds performance of the optimization variants normalized to
+// unoptimized SILO.
+type Fig12Result struct {
+	Workloads []string
+	Variants  []string
+	// Norm[w][v].
+	Norm [][]float64
+}
+
+// Fig12 evaluates the ideal local-vault miss predictor and directory cache
+// — paper Fig 12.
+func Fig12(m Mode) Fig12Result {
+	res := Fig12Result{Variants: []string{"NoOpt", "LocalMP", "DirCache", "LocalMP+DirCache"}}
+	variants := [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}}
+	for _, spec := range workload.ScaleOutSuite() {
+		res.Workloads = append(res.Workloads, spec.Name)
+		var ipcs []float64
+		for _, v := range variants {
+			cfg := core.SILOConfig(16)
+			cfg.LocalMissPredictor = v[0]
+			cfg.DirectoryCache = v[1]
+			ipcs = append(ipcs, ipcOf(cfg, spec, m))
+		}
+		res.Norm = append(res.Norm, stats.Normalize(ipcs, ipcs[0]))
+	}
+	return res
+}
+
+func (r Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 12: SILO optimizations (normalized to NoOpt)")
+	fmt.Fprintln(&b, header(append([]string{"workload"}, r.Variants...)...))
+	for i, w := range r.Workloads {
+		fmt.Fprintf(&b, "%s\t%s\n", w, fmtRow(r.Norm[i]))
+	}
+	return b.String()
+}
+
+// --- Fig 13: memory-subsystem dynamic energy -------------------------------
+
+// Fig13Result holds SILO's dynamic energy normalized to baseline, split
+// into LLC and main-memory components.
+type Fig13Result struct {
+	Workloads []string
+	// Components of normalized energy: baseline total = BaseLLC+BaseMem = 1.
+	BaseLLC, BaseMem, SILOLLC, SILOMem []float64
+}
+
+// Fig13 compares memory-subsystem dynamic energy — paper Fig 13. Energy
+// is normalized per retired instruction so different throughputs compare
+// fairly.
+func Fig13(m Mode) Fig13Result {
+	var res Fig13Result
+	for _, spec := range workload.ScaleOutSuite() {
+		res.Workloads = append(res.Workloads, spec.Name)
+		mb := runOne(core.BaselineConfig(16), []workload.Spec{spec}, m)
+		ms := runOne(core.SILOConfig(16), []workload.Spec{spec}, m)
+
+		bp := energy.BaselineParams(16)
+		sp := energy.SILOParams(16)
+		be := energy.Compute(bp, mb.Stats.LLCAccesses, mb.Stats.MemAccesses+mb.Stats.MemWritebacks, mb.Seconds())
+		se := energy.Compute(sp, ms.Stats.VaultAccesses, ms.Stats.MemAccesses+ms.Stats.MemWritebacks, ms.Seconds())
+
+		// Per-instruction normalization, then scale so baseline total = 1.
+		bTot := (be.LLCDynamicJ + be.MemDynamicJ) / float64(mb.Retired)
+		res.BaseLLC = append(res.BaseLLC, be.LLCDynamicJ/float64(mb.Retired)/bTot)
+		res.BaseMem = append(res.BaseMem, be.MemDynamicJ/float64(mb.Retired)/bTot)
+		res.SILOLLC = append(res.SILOLLC, se.LLCDynamicJ/float64(ms.Retired)/bTot)
+		res.SILOMem = append(res.SILOMem, se.MemDynamicJ/float64(ms.Retired)/bTot)
+	}
+	return res
+}
+
+// SILOTotal returns SILO's normalized dynamic energy for row i.
+func (r Fig13Result) SILOTotal(i int) float64 { return r.SILOLLC[i] + r.SILOMem[i] }
+
+func (r Fig13Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 13: normalized memory-subsystem dynamic energy (baseline = 1.0)")
+	fmt.Fprintln(&b, header("workload", "base-llc", "base-mem", "silo-llc", "silo-mem", "silo-total"))
+	for i, w := range r.Workloads {
+		fmt.Fprintf(&b, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n", w,
+			r.BaseLLC[i], r.BaseMem[i], r.SILOLLC[i], r.SILOMem[i], r.SILOTotal(i))
+	}
+	return b.String()
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Experiments are deterministic, so each is run once and shared across the
+// assertions in this file.
+var (
+	onceFig10 sync.Once
+	fig10Res  CompareResult
+	onceFig11 sync.Once
+	fig11Res  Fig11Result
+	onceMotiv sync.Once
+	fig1Res   Fig1Result
+	fig3Res   Fig3Result
+	fig4Res   Fig4Result
+)
+
+// tinyMode keeps shape tests fast; shapes are stable well below Quick's
+// window sizes.
+func tinyMode() Mode {
+	return Mode{Name: "tiny", WarmInstr: 200_000, WarmCycles: 10_000, MeasureCycles: 40_000, Scale: 32}
+}
+
+func getFig10(t *testing.T) CompareResult {
+	t.Helper()
+	onceFig10.Do(func() { fig10Res = Fig10(tinyMode()) })
+	return fig10Res
+}
+
+func getFig11(t *testing.T) Fig11Result {
+	t.Helper()
+	onceFig11.Do(func() { fig11Res = Fig11(tinyMode()) })
+	return fig11Res
+}
+
+func getMotivation(t *testing.T) (Fig1Result, Fig3Result, Fig4Result) {
+	t.Helper()
+	onceMotiv.Do(func() {
+		fig3Res = Fig3(tinyMode())
+		fig4Res = Fig4(tinyMode())
+		m := tinyMode()
+		fig1Res = Fig1(m)
+	})
+	return fig1Res, fig3Res, fig4Res
+}
+
+// Fig 10 headline: SILO beats the baseline on every scale-out workload,
+// with a geomean in the paper's +5..54% band, MapReduce the biggest winner,
+// and Web Frontend the smallest.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := getFig10(t)
+	silo := r.SpeedupOf("SILO")
+	if silo < 1.15 || silo > 1.45 {
+		t.Errorf("SILO geomean speedup = %.3f, want ~1.28 (paper)", silo)
+	}
+	for _, w := range r.Workloads {
+		s := r.WorkloadSpeedup(w, "SILO")
+		if s <= 1.0 {
+			t.Errorf("SILO should beat baseline on %s, got %.3f", w, s)
+		}
+	}
+	if mr, wf := r.WorkloadSpeedup("MapReduce", "SILO"), r.WorkloadSpeedup("WebFrontend", "SILO"); mr <= wf {
+		t.Errorf("MapReduce (%.3f) should gain more than WebFrontend (%.3f)", mr, wf)
+	}
+	// SILO-CO trails SILO (capacity bought with latency loses).
+	if co := r.SpeedupOf("SILO-CO"); co >= silo {
+		t.Errorf("SILO-CO (%.3f) should trail SILO (%.3f)", co, silo)
+	}
+	// Vaults-Sh trails SILO decisively: the private organization, not just
+	// fast DRAM, is what matters.
+	if vs := r.SpeedupOf("Vaults-Sh"); vs >= silo-0.15 {
+		t.Errorf("Vaults-Sh (%.3f) should trail SILO (%.3f) by a wide margin", vs, silo)
+	}
+	// The conventional DRAM cache buys little on scale-out workloads.
+	if dc := r.SpeedupOf("Baseline+DRAM$"); dc > 1.12 {
+		t.Errorf("Baseline+DRAM$ speedup = %.3f, paper reports ~none", dc)
+	}
+}
+
+// Fig 11: SILO reduces misses everywhere; local hits dominate its hits.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := getFig11(t)
+	for i, w := range r.Workloads {
+		if r.MissReduction[i] <= 0 {
+			t.Errorf("%s: no miss reduction (%.2f)", w, r.MissReduction[i])
+		}
+		hits := r.SILOLocal[i] + r.SILORemote[i]
+		if r.SILOLocal[i] < 0.6*hits {
+			t.Errorf("%s: local hits are %.2f of hits, want >= 0.6 (paper: 63-91%%)",
+				w, r.SILOLocal[i]/hits)
+		}
+	}
+	// SAT Solver has the largest reduction in the paper.
+	maxIdx := 0
+	for i := range r.MissReduction {
+		if r.MissReduction[i] > r.MissReduction[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if w := r.Workloads[maxIdx]; w != "SATSolver" && w != "MapReduce" {
+		t.Errorf("largest miss reduction on %s, want SATSolver or MapReduce", w)
+	}
+}
+
+// Fig 1: capacity alone helps little until the secondary set fits; Web
+// Search needs the most aggregate capacity.
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r, _, _ := getMotivation(t)
+	for i, w := range r.Workloads {
+		row := r.Norm[i]
+		// Monotone within noise.
+		for c := 1; c < len(row); c++ {
+			if row[c] < row[c-1]-0.06 {
+				t.Errorf("%s: performance fell from %.3f to %.3f at %dMB",
+					w, row[c-1], row[c], r.CapacitiesMB[c])
+			}
+		}
+		if row[len(row)-1] < 1.0 {
+			t.Errorf("%s: 1GB LLC slower than 8MB", w)
+		}
+	}
+	// Web Search gains meaningfully from 512MB -> 1024MB (the paper's
+	// late knee), more than Data Serving does at that step.
+	wsIdx, dsIdx := 0, 1
+	wsLate := r.Norm[wsIdx][7] - r.Norm[wsIdx][6]
+	dsLate := r.Norm[dsIdx][7] - r.Norm[dsIdx][6]
+	if wsLate <= dsLate {
+		t.Errorf("WebSearch late-capacity gain (%.3f) should exceed DataServing's (%.3f)", wsLate, dsLate)
+	}
+}
+
+// Fig 3: scale-out workloads show little RW sharing (the paper's argument
+// that shared LLCs' fast shared-data path is wasted on them).
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	_, r, _ := getMotivation(t)
+	for i, w := range r.Workloads {
+		if r.WritesRWSharingPct[i] > 8 {
+			t.Errorf("%s: %.1f%% RW-shared writes, want small (paper <= ~4%%)", w, r.WritesRWSharingPct[i])
+		}
+		if r.ReadsPct[i] < 50 {
+			t.Errorf("%s: reads are only %.1f%% of LLC accesses", w, r.ReadsPct[i])
+		}
+		sum := r.ReadsPct[i] + r.WritesNoSharingPct[i] + r.WritesRWSharingPct[i]
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: breakdown sums to %.1f%%", w, sum)
+		}
+	}
+	// MapReduce and SAT Solver have negligible sharing.
+	for _, i := range []int{3, 4} {
+		if r.WritesRWSharingPct[i] > 1.0 {
+			t.Errorf("%s: RW sharing %.2f%%, want negligible", r.Workloads[i], r.WritesRWSharingPct[i])
+		}
+	}
+}
+
+// Fig 4: slowing RW-shared blocks 4x costs at most ~10-15%.
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	_, _, r := getMotivation(t)
+	for i, w := range r.Workloads {
+		at4x := r.Norm[i][3]
+		if at4x < 0.82 {
+			t.Errorf("%s: 4x RW-shared latency costs %.1f%%, paper caps at ~10%%",
+				w, 100*(1-at4x))
+		}
+		if at4x > 1.02 {
+			t.Errorf("%s: 4x RW-shared latency should not help (%.3f)", w, at4x)
+		}
+		// Monotone non-increasing within noise.
+		for k := 1; k < len(r.Norm[i]); k++ {
+			if r.Norm[i][k] > r.Norm[i][k-1]+0.03 {
+				t.Errorf("%s: performance rose with higher shared latency", w)
+			}
+		}
+	}
+}
+
+// Fig 2: larger capacity only wins at low latency; at +100% latency the
+// benefit collapses toward (or below) the 8MB baseline.
+func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	m := tinyMode()
+	r := Fig2(m)
+	for i, mb := range r.CapacitiesMB {
+		row := r.Norm[i]
+		if row[0] < 1.0 {
+			t.Errorf("%dMB at base latency should beat the 8MB baseline, got %.3f", mb, row[0])
+		}
+		for k := 1; k < len(row); k++ {
+			if row[k] > row[k-1]+0.02 {
+				t.Errorf("%dMB: performance rose with added latency", mb)
+			}
+		}
+		if last := row[len(row)-1]; last > 1.05 {
+			t.Errorf("%dMB at +100%% latency = %.3f, should approach or fall below 1.0", mb, last)
+		}
+	}
+}
+
+// Fig 12: the ideal optimizations help, but modestly (paper: "do not
+// outweigh their cost").
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := Fig12(tinyMode())
+	for i, w := range r.Workloads {
+		both := r.Norm[i][3]
+		if both < 0.99 {
+			t.Errorf("%s: ideal optimizations hurt (%.3f)", w, both)
+		}
+		if both > 1.15 {
+			t.Errorf("%s: optimizations gain %.1f%%, paper reports marginal benefits", w, 100*(both-1))
+		}
+	}
+}
+
+// Fig 13: SILO cuts memory-subsystem dynamic energy on every workload,
+// mostly by eliminating off-chip traffic.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := Fig13(tinyMode())
+	for i, w := range r.Workloads {
+		if tot := r.SILOTotal(i); tot >= 1.0 {
+			t.Errorf("%s: SILO dynamic energy %.3f, want < 1", w, tot)
+		}
+		if r.SILOMem[i] >= r.BaseMem[i] {
+			t.Errorf("%s: SILO memory energy should drop (%.3f vs %.3f)", w, r.SILOMem[i], r.BaseMem[i])
+		}
+	}
+}
+
+// Table VI: SILO preserves Web Search performance under colocation with
+// mcf; the shared LLC loses ~10%.
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := Table6(tinyMode())
+	if r.SharedColoc > 0.97 {
+		t.Errorf("shared LLC under colocation = %.3f, want visible degradation (paper -10%%)", r.SharedColoc)
+	}
+	if r.SILOAlone <= 1.0 {
+		t.Errorf("SILO alone should beat shared alone, got %.3f", r.SILOAlone)
+	}
+	drift := r.SILOColoc/r.SILOAlone - 1
+	if drift < -0.03 || drift > 0.03 {
+		t.Errorf("SILO colocation drift = %.1f%%, want ~0 (isolation)", 100*drift)
+	}
+}
+
+// Fig 16: with three levels, SILO still wins and eDRAM lands between the
+// SRAM baseline and SILO on average.
+func TestFig16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := Fig16(tinyMode())
+	siloSum, edramSum := 0.0, 0.0
+	for i := range r.Workloads {
+		siloSum += r.Norm[i][2]
+		edramSum += r.Norm[i][1]
+	}
+	n := float64(len(r.Workloads))
+	if siloSum/n <= 1.0 {
+		t.Errorf("3level-SILO average %.3f, want > 1", siloSum/n)
+	}
+	if edramSum/n < 0.98 {
+		t.Errorf("3level-eDRAM average %.3f, want >= SRAM baseline", edramSum/n)
+	}
+	if siloSum <= edramSum {
+		t.Errorf("3level-SILO should beat 3level-eDRAM on average")
+	}
+}
+
+// Fig 15: every mix gains, memory-intensive mixes gain most.
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := Fig15(tinyMode())
+	if len(r.Mixes) != 10 {
+		t.Fatalf("%d mixes, want 10", len(r.Mixes))
+	}
+	for i, m := range r.Mixes {
+		if r.Speedup[i] < 1.0 {
+			t.Errorf("%s: SILO slower than baseline (%.3f)", m, r.Speedup[i])
+		}
+	}
+	if mean := r.Mean(); mean < 1.10 || mean > 1.45 {
+		t.Errorf("mean mix speedup %.3f, want ~1.28 (paper)", mean)
+	}
+	// mix3 (mcf+lbm) should be among the strongest; mix4 (compute-bound)
+	// among the weakest.
+	mix3, mix4 := r.Speedup[2], r.Speedup[3]
+	if mix3 <= mix4 {
+		t.Errorf("memory-intensive mix3 (%.3f) should beat compute-bound mix4 (%.3f)", mix3, mix4)
+	}
+}
+
+// Technology-study tables render and carry the right headline figures.
+func TestTechnologyStrings(t *testing.T) {
+	if s := Fig7String(); !strings.Contains(s, "1024x1024") {
+		t.Error("Fig7 table missing baseline tile")
+	}
+	f8 := Fig8()
+	if len(f8.Designs) == 0 || len(f8.Envelope) != 7 {
+		t.Fatalf("Fig8: %d designs, %d envelope points", len(f8.Designs), len(f8.Envelope))
+	}
+	if s := f8.String(); !strings.Contains(s, "256MB") {
+		t.Error("Fig8 table missing the 256MB point")
+	}
+	c := Table1()
+	if c.LatencyRatio < 1.5 || c.AreaEfficiencyRatio < 1.5 {
+		t.Errorf("Table1 ratios off: %+v", c)
+	}
+	if s := Table1String(); !strings.Contains(s, "1.74x") {
+		t.Error("Table1 should cite the paper's reference values")
+	}
+}
+
+// Determinism: re-running an experiment reproduces it exactly.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	m := Mode{Name: "det", WarmInstr: 50_000, WarmCycles: 5_000, MeasureCycles: 10_000, Scale: 64}
+	a := Fig3(m)
+	b := Fig3(m)
+	for i := range a.Workloads {
+		if a.ReadsPct[i] != b.ReadsPct[i] {
+			t.Fatalf("Fig3 not deterministic at %s", a.Workloads[i])
+		}
+	}
+}
+
+func TestModes(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.MeasureCycles >= f.MeasureCycles {
+		t.Error("quick mode should measure less than full mode")
+	}
+	if f.WarmCycles != 100_000 || f.MeasureCycles != 200_000 {
+		t.Error("full mode should mirror the paper's 100K/200K windows")
+	}
+}
+
+func TestCompareResultLookupPanics(t *testing.T) {
+	r := CompareResult{Systems: []string{"A"}, Workloads: []string{"w"}, Norm: [][]float64{{1}}, Geomean: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown system")
+		}
+	}()
+	r.SpeedupOf("nope")
+}

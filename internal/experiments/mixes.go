@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// --- Fig 15: multi-programmed SPEC'06 mixes --------------------------------
+
+// Fig15Result holds SILO's speedup over the baseline per 4-core mix.
+type Fig15Result struct {
+	Mixes   []string
+	Speedup []float64 // SILO IPC / baseline IPC
+}
+
+// Fig15 runs the paper's ten SPEC'06 mixes on the 4-core setup — Fig 15.
+func Fig15(m Mode) Fig15Result {
+	var res Fig15Result
+	for _, mix := range workload.Spec06Mixes() {
+		specs := workload.MixSpecs(mix)
+		mb := runOne(core.BaselineConfig(4), specs, m)
+		ms := runOne(core.SILOConfig(4), specs, m)
+		res.Mixes = append(res.Mixes, mix.Name)
+		res.Speedup = append(res.Speedup, ms.IPC()/mb.IPC())
+	}
+	return res
+}
+
+// Mean returns the average speedup (paper: ~28% on average, up to 47%).
+func (r Fig15Result) Mean() float64 { return stats.Mean(r.Speedup) }
+
+// Max returns the best mix's speedup.
+func (r Fig15Result) Max() float64 { return stats.Max(r.Speedup) }
+
+func (r Fig15Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 15: SPEC'06 4-core mixes, SILO speedup over Baseline")
+	fmt.Fprintln(&b, header("mix", "speedup"))
+	for i, name := range r.Mixes {
+		fmt.Fprintf(&b, "%s\t%.3f\n", name, r.Speedup[i])
+	}
+	fmt.Fprintf(&b, "mean\t%.3f\nmax\t%.3f\n", r.Mean(), r.Max())
+	return b.String()
+}
+
+// --- Table VI: performance isolation under colocation ----------------------
+
+// Table6Result reports Web Search throughput normalized to the
+// shared-LLC stand-alone configuration.
+type Table6Result struct {
+	// Web Search on 8 cores; the other 8 cores idle-spin on a tiny
+	// footprint (alone) or run mcf (colocated).
+	SharedAlone, SharedColoc float64
+	SILOAlone, SILOColoc     float64
+}
+
+// Table6 reproduces the colocation study: Web Search on 8 cores, mcf on
+// the other 8 — paper Table VI.
+func Table6(m Mode) Table6Result {
+	ws := workload.WebSearch()
+	mcf := workload.Spec2006("mcf")
+	idle := idleSpec()
+
+	run := func(cfg core.Config, other workload.Spec) float64 {
+		specs := make([]workload.Spec, 16)
+		for i := 0; i < 8; i++ {
+			specs[i] = ws
+		}
+		for i := 8; i < 16; i++ {
+			specs[i] = other
+		}
+		met := runOne(cfg, specs, m)
+		return met.RangeIPC(0, 8) // Web Search cores only
+	}
+
+	var res Table6Result
+	res.SharedAlone = run(core.BaselineConfig(16), idle)
+	base := res.SharedAlone
+	res.SharedAlone = 1
+	res.SharedColoc = run(core.BaselineConfig(16), mcf) / base
+	res.SILOAlone = run(core.SILOConfig(16), idle) / base
+	res.SILOColoc = run(core.SILOConfig(16), mcf) / base
+	return res
+}
+
+// idleSpec is a compute-bound filler whose footprint disturbs no cache:
+// it stands in for the unused cores of the stand-alone configuration.
+func idleSpec() workload.Spec {
+	return workload.Spec{
+		Name: "idle", Class: workload.Batch,
+		InstrFootprint: 4 << 10, JumpEveryLines: 64,
+		MemRatio: 0.05, StoreFrac: 0.1,
+		PrimaryWSS: 4 << 10, PrimaryFrac: 0.999,
+		SecondaryWSS: 64, SecondaryFrac: 0.001,
+		MLP: 2, IndepProb: 0.5,
+	}
+}
+
+func (r Table6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table VI: Web Search throughput under colocation (normalized to shared LLC alone)")
+	fmt.Fprintln(&b, header("setup", "Shared LLC", "SILO"))
+	fmt.Fprintf(&b, "Web Search alone\t%.3f\t%.3f\n", r.SharedAlone, r.SILOAlone)
+	fmt.Fprintf(&b, "Web Search + mcf\t%.3f\t%.3f\n", r.SharedColoc, r.SILOColoc)
+	return b.String()
+}
+
+// --- Fig 16: three-level hierarchies ---------------------------------------
+
+// Fig16Result compares 3-level hierarchies normalized to 3level-SRAM.
+type Fig16Result struct {
+	Workloads []string
+	Systems   []string
+	// Norm[w][s].
+	Norm [][]float64
+}
+
+// Fig16 adds a 512KB private L2 to all configurations and compares a 32MB
+// SRAM NUCA LLC, a 128MB eDRAM NUCA LLC, and SILO — paper Fig 16 (Sec.
+// VII-F). Both NUCA baselines use 7-cycle banks (the paper's CACTI result
+// for the SRAM design, optimistically reused for eDRAM).
+func Fig16(m Mode) Fig16Result {
+	res := Fig16Result{Systems: []string{"3level-SRAM", "3level-eDRAM", "3level-SILO"}}
+
+	sram := core.BaselineConfig(16).WithL2()
+	sram.LLCSize = 32 << 20
+	sram.LLCBankLatency = 7
+
+	edram := core.BaselineConfig(16).WithL2()
+	edram.LLCSize = 128 << 20
+	edram.LLCBankLatency = 7
+
+	silo := core.SILOConfig(16).WithL2()
+
+	for _, spec := range workload.ScaleOutSuite() {
+		res.Workloads = append(res.Workloads, spec.Name)
+		base := ipcOf(sram, spec, m)
+		res.Norm = append(res.Norm, []float64{
+			1,
+			ipcOf(edram, spec, m) / base,
+			ipcOf(silo, spec, m) / base,
+		})
+	}
+	return res
+}
+
+func (r Fig16Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 16: 3-level hierarchies (normalized to 3level-SRAM)")
+	fmt.Fprintln(&b, header(append([]string{"workload"}, r.Systems...)...))
+	for i, w := range r.Workloads {
+		fmt.Fprintf(&b, "%s\t%s\n", w, fmtRow(r.Norm[i]))
+	}
+	return b.String()
+}

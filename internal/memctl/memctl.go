@@ -1,0 +1,81 @@
+// Package memctl models main memory: a fixed 50 ns access latency (paper
+// Table II) behind a small number of channels. The paper deliberately
+// assumes aggressive memory (fast access, ample bandwidth) to be
+// conservative toward SILO, so the channel model only throttles genuinely
+// pathological burst behaviour.
+package memctl
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config sizes the memory model.
+type Config struct {
+	AccessCycles  sim.Cycle // fixed access latency (50ns = 100 cycles at 2GHz)
+	Channels      int       // independent channels (power of two)
+	ServiceCycles sim.Cycle // per-request channel occupancy (burst transfer)
+}
+
+// Default returns the paper's memory at the given clock: 50 ns, with four
+// channels each able to issue a 64B burst every 4 cycles (far more
+// bandwidth than the evaluated workloads demand).
+func Default(ghz float64) Config {
+	return Config{AccessCycles: sim.Cycle(50 * ghz), Channels: 4, ServiceCycles: 4}
+}
+
+// Memory tracks per-channel occupancy and access statistics.
+type Memory struct {
+	cfg      Config
+	engine   *sim.Engine
+	chanFree []sim.Cycle
+
+	Accesses   uint64
+	Writebacks uint64
+}
+
+// New builds the memory model.
+func New(engine *sim.Engine, cfg Config) *Memory {
+	if cfg.Channels <= 0 || cfg.Channels&(cfg.Channels-1) != 0 {
+		panic(fmt.Sprintf("memctl: channel count %d not a positive power of two", cfg.Channels))
+	}
+	if cfg.AccessCycles == 0 {
+		panic("memctl: zero access latency")
+	}
+	return &Memory{cfg: cfg, engine: engine, chanFree: make([]sim.Cycle, cfg.Channels)}
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+func (m *Memory) channel(line mem.LineAddr) int {
+	return int((uint64(line) / mem.LineSize) & uint64(m.cfg.Channels-1))
+}
+
+// Access returns the latency of a demand read issued now.
+func (m *Memory) Access(line mem.LineAddr) sim.Cycle {
+	m.Accesses++
+	return m.occupy(line) + m.cfg.AccessCycles
+}
+
+// Writeback records an eviction write. Writes are posted (buffered by the
+// controller) so they add channel occupancy but no latency to the evicting
+// access.
+func (m *Memory) Writeback(line mem.LineAddr) {
+	m.Writebacks++
+	m.occupy(line)
+}
+
+// occupy reserves the line's channel and returns the queueing delay.
+func (m *Memory) occupy(line mem.LineAddr) sim.Cycle {
+	now := m.engine.Now()
+	ch := m.channel(line)
+	start := now
+	if m.chanFree[ch] > start {
+		start = m.chanFree[ch]
+	}
+	m.chanFree[ch] = start + m.cfg.ServiceCycles
+	return start - now
+}

@@ -1,0 +1,84 @@
+package memctl
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func line(n uint64) mem.LineAddr { return mem.LineAddr(n * mem.LineSize) }
+
+func TestDefaultLatency(t *testing.T) {
+	cfg := Default(2.0)
+	if cfg.AccessCycles != 100 {
+		t.Fatalf("50ns at 2GHz = %d cycles, want 100", cfg.AccessCycles)
+	}
+}
+
+func TestAccessUnloaded(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, Default(2.0))
+	if got := m.Access(line(0)); got != 100 {
+		t.Fatalf("access = %d, want 100", got)
+	}
+	if m.Accesses != 1 {
+		t.Fatalf("Accesses = %d", m.Accesses)
+	}
+}
+
+func TestChannelQueueing(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, Default(2.0))
+	// Two same-channel accesses back to back: second queues 4 cycles.
+	a := m.Access(line(0))
+	b := m.Access(line(4)) // 4 channels: line 4 maps to channel 0
+	if a != 100 || b != 104 {
+		t.Fatalf("latencies = %d, %d; want 100, 104", a, b)
+	}
+	// Different channel: no queueing.
+	if got := m.Access(line(1)); got != 100 {
+		t.Fatalf("cross-channel access = %d, want 100", got)
+	}
+}
+
+func TestWritebacksArePosted(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, Default(2.0))
+	m.Writeback(line(0))
+	if m.Writebacks != 1 || m.Accesses != 0 {
+		t.Fatalf("writeback accounting wrong: %d %d", m.Writebacks, m.Accesses)
+	}
+	// The posted write still occupies the channel.
+	if got := m.Access(line(0)); got != 104 {
+		t.Fatalf("access behind posted write = %d, want 104", got)
+	}
+}
+
+func TestChannelDrains(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, Default(2.0))
+	m.Access(line(0))
+	e.Run(10)
+	if got := m.Access(line(0)); got != 100 {
+		t.Fatalf("post-drain access = %d, want 100", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	e := sim.NewEngine()
+	for _, cfg := range []Config{
+		{AccessCycles: 100, Channels: 0},
+		{AccessCycles: 100, Channels: 3},
+		{AccessCycles: 0, Channels: 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", cfg)
+				}
+			}()
+			New(e, cfg)
+		}()
+	}
+}

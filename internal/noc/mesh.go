@@ -1,0 +1,162 @@
+// Package noc models the on-chip interconnect: a 2D mesh with
+// dimension-ordered (XY) routing and a fixed per-hop latency, plus the chip
+// floorplan that places cores and cache banks on the mesh (paper Table II:
+// 4x4 mesh, 3 cycles/hop).
+//
+// The model is a latency model, not a flit-level network: the evaluated
+// systems are latency-bound, not bandwidth-bound (paper Sec. VII-A cites
+// Ferdman et al. and Google showing server CPUs are not bandwidth limited),
+// so hop-count x hop-latency captures the interconnect's contribution.
+// Per-link traffic counters are still kept so experiments can report
+// interconnect load.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Mesh is a W x H 2D mesh with uniform per-hop latency.
+type Mesh struct {
+	Width, Height int
+	HopLatency    sim.Cycle
+
+	// traffic[n] counts messages that traversed at least one link out of
+	// node n (indexed by node id).
+	traffic []uint64
+}
+
+// New returns a mesh of the given dimensions. Paper Table II uses
+// New(4, 4, 3) for the 16-core CMP.
+func New(width, height int, hopLatency sim.Cycle) *Mesh {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", width, height))
+	}
+	return &Mesh{
+		Width:      width,
+		Height:     height,
+		HopLatency: hopLatency,
+		traffic:    make([]uint64, width*height),
+	}
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.Width * m.Height }
+
+// Coord returns the (x, y) position of node id (row-major layout).
+func (m *Mesh) Coord(node int) (x, y int) {
+	m.check(node)
+	return node % m.Width, node / m.Width
+}
+
+// NodeAt returns the node id at (x, y).
+func (m *Mesh) NodeAt(x, y int) int {
+	if x < 0 || x >= m.Width || y < 0 || y >= m.Height {
+		panic(fmt.Sprintf("noc: coordinate (%d,%d) outside %dx%d mesh", x, y, m.Width, m.Height))
+	}
+	return y*m.Width + x
+}
+
+// Hops returns the XY-routed hop count between two nodes (Manhattan
+// distance).
+func (m *Mesh) Hops(from, to int) int {
+	fx, fy := m.Coord(from)
+	tx, ty := m.Coord(to)
+	return abs(fx-tx) + abs(fy-ty)
+}
+
+// Latency returns the one-way traversal latency between two nodes. A
+// node's access to itself costs nothing.
+func (m *Mesh) Latency(from, to int) sim.Cycle {
+	return sim.Cycle(m.Hops(from, to)) * m.HopLatency
+}
+
+// RoundTrip returns the request + response traversal latency.
+func (m *Mesh) RoundTrip(from, to int) sim.Cycle {
+	return 2 * m.Latency(from, to)
+}
+
+// Send records one message from -> to and returns its latency. It is the
+// traffic-accounting variant of Latency.
+func (m *Mesh) Send(from, to int) sim.Cycle {
+	m.check(to)
+	if from != to {
+		m.traffic[from]++
+	}
+	return m.Latency(from, to)
+}
+
+// Traffic returns the number of messages sent from node n.
+func (m *Mesh) Traffic(n int) uint64 {
+	m.check(n)
+	return m.traffic[n]
+}
+
+// TotalTraffic returns the number of messages that crossed any link.
+func (m *Mesh) TotalTraffic() uint64 {
+	var sum uint64
+	for _, t := range m.traffic {
+		sum += t
+	}
+	return sum
+}
+
+// AverageLatency returns the mean one-way latency from node `from` to every
+// node in `targets`, assuming uniform access — the expected NUCA bank
+// traversal time for address-interleaved data.
+func (m *Mesh) AverageLatency(from int, targets []int) float64 {
+	if len(targets) == 0 {
+		panic("noc: AverageLatency over no targets")
+	}
+	sum := 0.0
+	for _, t := range targets {
+		sum += float64(m.Latency(from, t))
+	}
+	return sum / float64(len(targets))
+}
+
+func (m *Mesh) check(node int) {
+	if node < 0 || node >= m.Nodes() {
+		panic(fmt.Sprintf("noc: node %d outside %dx%d mesh", node, m.Width, m.Height))
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Floorplan maps cores and LLC banks onto mesh nodes. In the evaluated
+// 16-core systems every mesh node hosts one core, one L1 pair, and (for
+// shared-LLC designs) one LLC bank, so both mappings are the identity; the
+// type exists so asymmetric layouts can be expressed and tested.
+type Floorplan struct {
+	Mesh     *Mesh
+	CoreNode []int // core id -> mesh node
+	BankNode []int // LLC bank id -> mesh node
+}
+
+// Uniform returns the paper's floorplan: n cores and n banks co-located
+// one per mesh node.
+func Uniform(m *Mesh) *Floorplan {
+	n := m.Nodes()
+	f := &Floorplan{Mesh: m, CoreNode: make([]int, n), BankNode: make([]int, n)}
+	for i := 0; i < n; i++ {
+		f.CoreNode[i] = i
+		f.BankNode[i] = i
+	}
+	return f
+}
+
+// CoreToBank returns the one-way latency from a core to an LLC bank.
+func (f *Floorplan) CoreToBank(core, bank int) sim.Cycle {
+	return f.Mesh.Latency(f.CoreNode[core], f.BankNode[bank])
+}
+
+// CoreToCore returns the one-way latency between two cores.
+func (f *Floorplan) CoreToCore(a, b int) sim.Cycle {
+	return f.Mesh.Latency(f.CoreNode[a], f.CoreNode[b])
+}

@@ -1,0 +1,139 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps a monotonically increasing cycle clock and a priority
+// queue of events ordered by (cycle, insertion sequence). Ties are broken
+// FIFO so that two runs of the same program always execute events in the
+// same order: the whole simulator is single-goroutine and reproducible.
+package sim
+
+import "fmt"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Event is a closure scheduled to run at a particular cycle.
+type event struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	heap   []event
+	nEvts  uint64 // total events executed
+	closed bool
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulation cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Executed reports the total number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nEvts }
+
+// Pending reports the number of scheduled but not yet executed events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn delay cycles from now. A delay of 0 runs fn after all
+// events already scheduled for the current cycle.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the given absolute cycle, which must not be in the past.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	e.push(event{when: when, seq: e.seq, fn: fn})
+}
+
+// Step executes the next pending event, advancing the clock to its cycle.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.pop()
+	e.now = ev.when
+	e.nEvts++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the clock would pass limit.
+// Events scheduled exactly at limit are executed. It returns the number of
+// events executed by this call.
+func (e *Engine) Run(limit Cycle) uint64 {
+	start := e.nEvts
+	for len(e.heap) > 0 && e.heap[0].when <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.nEvts - start
+}
+
+// RunAll executes events until the queue is drained.
+func (e *Engine) RunAll() uint64 {
+	start := e.nEvts
+	for e.Step() {
+	}
+	return e.nEvts - start
+}
+
+// push inserts ev into the binary min-heap.
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && less(e.heap[l], e.heap[smallest]) {
+			smallest = l
+		}
+		if r < last && less(e.heap[r], e.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+func less(a, b event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,63 @@
+package sim
+
+// RNG is a small, fast, seedable xorshift64* generator. The simulator never
+// uses math/rand so that results are identical across Go versions and runs.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (zero is remapped so the
+// generator never degenerates to a fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). It panics when n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero bound")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Fork derives an independent stream; distinct ids produce distinct streams
+// regardless of how many values the parent has consumed.
+func (r *RNG) Fork(id uint64) *RNG {
+	// SplitMix64 on (state ^ id) keeps forked streams well separated.
+	z := r.state ^ (id+1)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return NewRNG(z)
+}

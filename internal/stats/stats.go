@@ -1,0 +1,117 @@
+// Package stats provides the small numeric helpers the experiment harness
+// needs: geometric means, normalization, and percentage formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of xs. It panics on empty input or on
+// non-positive values, which always indicate a harness bug.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: geomean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs. It panics on empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Normalize divides each element by base, returning a new slice.
+func Normalize(xs []float64, base float64) []float64 {
+	if base == 0 {
+		panic("stats: normalize by zero")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Pct formats a ratio r as a signed percentage change, e.g. 1.28 -> "+28.0%".
+func Pct(r float64) string {
+	return fmt.Sprintf("%+.1f%%", (r-1)*100)
+}
+
+// Ratio formats r with two decimals, e.g. "1.28x".
+func Ratio(r float64) string { return fmt.Sprintf("%.2fx", r) }
+
+// Min returns the smallest element of xs. It panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (the mean of the middle pair for even
+// lengths). It panics on empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Counter is a named monotonically increasing event counter.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Inc adds n to the counter.
+func (c *Counter) Inc(n uint64) { c.Value += n }
+
+// RatioOf returns c.Value / total, or 0 when total is zero.
+func RatioOf(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}

@@ -1,0 +1,401 @@
+// Package workload synthesizes the memory behaviour of the paper's
+// workloads (Table IV scale-out and enterprise applications, Table V
+// SPEC'06 mixes). The real applications run under a full OS on a
+// full-system simulator; here each workload is a deterministic stochastic
+// stream generator whose parameters are calibrated to the paper's published
+// characterization:
+//
+//   - working-set structure (Fig 1 capacity sensitivity): a primary per-core
+//     set that lives in the L1, a secondary per-core set whose fit in the
+//     LLC determines capacity sensitivity, and a cold stream that always
+//     misses;
+//   - latency sensitivity (Fig 2): low memory-level parallelism exposes
+//     L1-miss latency to the core, controlled by MLP and IndepProb;
+//   - sharing behaviour (Figs 3-4): a small read-write shared pool accessed
+//     by all cores, plus read-only instruction sharing and a probability of
+//     touching another core's secondary slice;
+//   - instruction footprints large enough to miss in the L1-I, the classic
+//     scale-out frontend bottleneck.
+//
+// Scale note: all LLC-level footprints below are expressed at paper scale
+// and divided by the configured capacity scale (see internal/core) before
+// address generation, together with the cache capacities themselves, so
+// capacity ratios — and therefore hit rates — are preserved while keeping
+// warm-up tractable.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Class groups workloads the way the paper's evaluation sections do.
+type Class uint8
+
+const (
+	// ScaleOut workloads are the CloudSuite-derived primary targets.
+	ScaleOut Class = iota
+	// Enterprise workloads are the traditional server applications.
+	Enterprise
+	// Batch workloads are the SPEC CPU2006 components of Table V mixes.
+	Batch
+)
+
+func (c Class) String() string {
+	switch c {
+	case ScaleOut:
+		return "scale-out"
+	case Enterprise:
+		return "enterprise"
+	case Batch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Spec parameterizes one workload's synthetic stream. All sizes are bytes
+// at paper scale; footprints marked "per core" are private to each core.
+type Spec struct {
+	Name  string
+	Class Class
+
+	// Instruction stream: a shared (read-only) code footprint. The PC walks
+	// sequentially and jumps to a random function every JumpEveryLines
+	// cache lines, modelling the large instruction working sets of server
+	// software.
+	InstrFootprint int64
+	JumpEveryLines int
+
+	// MemRatio is the fraction of instructions that access data memory;
+	// StoreFrac the fraction of those that are stores.
+	MemRatio  float64
+	StoreFrac float64
+
+	// Data regions. Fractions are of data accesses; the remainder after
+	// Primary+Middle+Secondary+RWShared is the cold stream.
+	PrimaryWSS  int64 // per core; sized to (mostly) fit the L1-D
+	PrimaryFrac float64
+	// The middle set misses the L1 but fits even the small shared LLC;
+	// it is what makes every workload sensitive to LLC *latency*
+	// regardless of capacity (paper Fig 2).
+	MiddleWSS     int64
+	MiddleFrac    float64
+	SecondaryWSS  int64 // per core; the LLC-capacity-sensitive set
+	SecondaryFrac float64
+	ScanFrac      float64 // of secondary accesses that follow a circular scan
+	RemoteProb    float64 // chance a secondary access touches another core's slice
+
+	// Read-write sharing (Figs 3-4): a global pool touched by all cores.
+	RWSharedFrac    float64
+	SharedPool      int64
+	SharedWriteFrac float64
+
+	// Core behaviour: MLP bounds outstanding L1-D misses; IndepProb is the
+	// chance a miss is independent of the previous instruction (can
+	// overlap). Server workloads have low MLP (paper Sec. II-B).
+	MLP       int
+	IndepProb float64
+}
+
+// Validate panics when the spec is internally inconsistent; it is called by
+// stream constructors so broken presets fail loudly.
+func (s *Spec) Validate() {
+	if s.Name == "" {
+		panic("workload: unnamed spec")
+	}
+	if s.InstrFootprint < mem.LineSize || s.JumpEveryLines <= 0 {
+		panic(fmt.Sprintf("workload %s: bad instruction stream params", s.Name))
+	}
+	if s.MemRatio <= 0 || s.MemRatio >= 1 {
+		panic(fmt.Sprintf("workload %s: MemRatio %v outside (0,1)", s.Name, s.MemRatio))
+	}
+	sum := s.PrimaryFrac + s.MiddleFrac + s.SecondaryFrac + s.RWSharedFrac
+	if sum > 1+1e-9 {
+		panic(fmt.Sprintf("workload %s: data fractions sum to %v > 1", s.Name, sum))
+	}
+	if s.PrimaryWSS < mem.LineSize || s.SecondaryWSS < mem.LineSize {
+		panic(fmt.Sprintf("workload %s: degenerate working sets", s.Name))
+	}
+	if s.MiddleFrac > 0 && s.MiddleWSS < mem.LineSize {
+		panic(fmt.Sprintf("workload %s: middle accesses without a middle set", s.Name))
+	}
+	if s.RWSharedFrac > 0 && s.SharedPool < mem.LineSize {
+		panic(fmt.Sprintf("workload %s: shared accesses without a pool", s.Name))
+	}
+	if s.MLP <= 0 {
+		panic(fmt.Sprintf("workload %s: MLP must be positive", s.Name))
+	}
+}
+
+// ColdFrac returns the fraction of data accesses that stream through cold
+// (never-reused) memory.
+func (s *Spec) ColdFrac() float64 {
+	return 1 - s.PrimaryFrac - s.MiddleFrac - s.SecondaryFrac - s.RWSharedFrac
+}
+
+// Op is one instruction produced by a stream.
+type Op struct {
+	// NewIFetchLine is non-zero when this instruction enters a new
+	// instruction cache line; Jump marks a non-sequential transfer (the
+	// sequential case is covered by the next-line prefetcher).
+	NewIFetchLine mem.LineAddr
+	Jump          bool
+
+	// IsMem marks a data access with the fields below.
+	IsMem       bool
+	Addr        mem.Addr
+	Write       bool
+	RWShared    bool
+	Independent bool
+	// NonTemporal marks never-reused streaming accesses; caches insert
+	// their fills at LRU priority (see cache.InsertNonTemporal).
+	NonTemporal bool
+}
+
+// Address-map region bases. Regions are separated in the high bits so no
+// workload region ever aliases another. Bases and per-core strides carry
+// line-aligned odd "salts": purely power-of-two spacing would make every
+// region and every core's slice collapse onto the same low cache sets
+// (set index = line mod sets), thrashing direct-mapped structures in a way
+// no real memory layout does.
+const (
+	instrBase   = mem.Addr(0x01_0000_0000 + 64*11)
+	primaryBase = mem.Addr(0x02_0000_0000 + 64*17041)
+	middleBase  = mem.Addr(0x04_0000_0000 + 64*26227)
+	sharedBase  = mem.Addr(0x08_0000_0000 + 64*33749)
+	secBase     = mem.Addr(0x10_0000_0000 + 64*49999)
+	coldBase    = mem.Addr(0x80_0000_0000 + 64*3163)
+
+	primaryStride = 1<<26 + 64*10007  // per-core spacing of primary slices
+	middleStride  = 1<<27 + 64*23039  // per-core spacing of middle slices
+	secStride     = 1<<32 + 64*101117 // per-core spacing of secondary slices
+	coldStride    = 1<<36 + 64*51511  // per-core spacing of cold streams
+)
+
+// Stream generates a core's instruction/memory trace deterministically.
+type Stream struct {
+	spec   Spec
+	core   int
+	ncores int
+	scale  int64 // capacity scale divisor (1 = paper scale)
+	rng    *sim.RNG
+
+	// Scaled footprints (bytes).
+	instrFP, primary, middle, secondary, sharedPool, coldRegion int64
+
+	pc         mem.Addr // next instruction address
+	lastILine  mem.LineAddr
+	havePC     bool
+	jumped     bool // the last line transition was a taken branch
+	scanCursor int64
+	coldCursor int64
+}
+
+// NewStream builds the deterministic stream for one core. scale divides
+// every footprint — instruction, primary, middle, secondary, shared —
+// mirroring the capacity scaling of the simulated caches (including the
+// L1s), so every footprint:capacity ratio matches paper scale. seed
+// selects the run.
+func NewStream(spec Spec, core, ncores int, scale int64, seed uint64) *Stream {
+	spec.Validate()
+	if core < 0 || core >= ncores {
+		panic(fmt.Sprintf("workload: core %d outside [0,%d)", core, ncores))
+	}
+	if scale <= 0 {
+		panic("workload: non-positive scale")
+	}
+	scaled := func(v int64) int64 {
+		s := v / scale
+		if s < mem.LineSize {
+			s = mem.LineSize
+		}
+		// Round down to a whole number of lines.
+		return s &^ (mem.LineSize - 1)
+	}
+	st := &Stream{
+		spec:      spec,
+		core:      core,
+		ncores:    ncores,
+		scale:     scale,
+		rng:       sim.NewRNG(seed).Fork(uint64(core) + 1),
+		instrFP:   scaled(spec.InstrFootprint),
+		primary:   scaled(spec.PrimaryWSS),
+		secondary: scaled(spec.SecondaryWSS),
+	}
+	if spec.MiddleFrac > 0 {
+		st.middle = scaled(spec.MiddleWSS)
+	}
+	st.coldRegion = scaled(coldRegionBytes)
+	if spec.RWSharedFrac > 0 {
+		st.sharedPool = scaled(spec.SharedPool)
+	}
+	// Stagger scan cursors so cores do not move in lockstep.
+	st.scanCursor = (st.secondary / int64(ncores)) * int64(core)
+	st.pc = instrBase + mem.Addr(st.rng.Uint64n(uint64(st.instrFP)))&^(mem.LineSize-1)
+	return st
+}
+
+// Spec returns the stream's workload spec.
+func (s *Stream) Spec() Spec { return s.spec }
+
+// Next fills op with the next instruction. op is reused by callers to avoid
+// allocation in the simulation hot loop.
+func (s *Stream) Next(op *Op) {
+	*op = Op{}
+	s.nextIFetch(op)
+	if s.rng.Float64() < s.spec.MemRatio {
+		s.nextData(op)
+	}
+}
+
+// Instruction-stream locality: real code concentrates execution in hot
+// functions. hotJumpProb of taken jumps land in the hot fraction of the
+// footprint; the rest are uniform over the whole code. This skew is what
+// lets a shared LLC retain the hot instruction working set against data
+// churn while the cold tail still misses (the scale-out frontend profile).
+const (
+	hotJumpProb  = 0.96
+	hotInstrFrac = 0.08
+)
+
+// nextIFetch advances the PC by one instruction (4 bytes), jumping to a
+// random function start every JumpEveryLines lines on average.
+func (s *Stream) nextIFetch(op *Op) {
+	line := s.pc.Line()
+	if !s.havePC || line != s.lastILine {
+		op.NewIFetchLine = line
+		op.Jump = s.havePC && s.jumped
+		s.lastILine = line
+		s.havePC = true
+	}
+	s.jumped = false
+	// Advance.
+	next := s.pc + 4
+	if next.Line() != line {
+		// Crossing a line boundary: maybe jump instead.
+		if s.rng.Float64() < 1/float64(s.spec.JumpEveryLines) {
+			span := uint64(s.instrFP)
+			if s.rng.Float64() < hotJumpProb {
+				if hot := uint64(float64(s.instrFP) * hotInstrFrac); hot >= mem.LineSize {
+					span = hot
+				}
+			}
+			next = instrBase + mem.Addr(s.rng.Uint64n(span))&^(mem.LineSize-1)
+			s.jumped = true
+		}
+		if uint64(next-instrBase) >= uint64(s.instrFP) {
+			next = instrBase
+		}
+	}
+	s.pc = next
+}
+
+// Region-dependent instruction-level parallelism: middle-set accesses are
+// array/hash lookups whose addresses rarely depend on in-flight loads, so
+// an OoO core overlaps them well; secondary accesses are pointer chases
+// that serialize (the low-MLP behaviour paper Sec. II-B attributes to
+// server workloads). Both scale the spec's base IndepProb.
+const (
+	middleIndepScale    = 2.4
+	secondaryIndepScale = 0.6
+	coldIndepScale      = 2.0 // streaming misses prefetch/overlap well
+	sharedIndepScale    = 2.6 // GC/producer-consumer traffic is asynchronous
+)
+
+// coldRegionBytes is the per-core cold region at paper scale.
+const coldRegionBytes = int64(16) << 30
+
+func scaledProb(p, scale float64) float64 {
+	p *= scale
+	if p > 0.95 {
+		p = 0.95
+	}
+	return p
+}
+
+// nextData picks the data region and address for a memory instruction.
+func (s *Stream) nextData(op *Op) {
+	op.IsMem = true
+	op.Independent = s.rng.Float64() < s.spec.IndepProb
+	r := s.rng.Float64()
+	switch {
+	case r < s.spec.PrimaryFrac:
+		base := primaryBase + mem.Addr(int64(s.core)*primaryStride)
+		op.Addr = base + mem.Addr(s.rng.Uint64n(uint64(s.primary)))
+		op.Write = s.rng.Float64() < s.spec.StoreFrac
+	case r < s.spec.PrimaryFrac+s.spec.MiddleFrac:
+		base := middleBase + mem.Addr(int64(s.core)*middleStride)
+		op.Addr = base + mem.Addr(s.rng.Uint64n(uint64(s.middle)))
+		op.Write = s.rng.Float64() < s.spec.StoreFrac
+		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, middleIndepScale)
+	case r < s.spec.PrimaryFrac+s.spec.MiddleFrac+s.spec.SecondaryFrac:
+		owner := s.core
+		if s.ncores > 1 && s.rng.Float64() < s.spec.RemoteProb {
+			owner = s.rng.Intn(s.ncores - 1)
+			if owner >= s.core {
+				owner++
+			}
+		}
+		base := secBase + mem.Addr(int64(owner)*secStride)
+		var off int64
+		if s.rng.Float64() < s.spec.ScanFrac {
+			off = s.scanCursor
+			s.scanCursor += mem.LineSize
+			if s.scanCursor >= s.secondary {
+				s.scanCursor = 0
+			}
+		} else {
+			off = int64(s.rng.Uint64n(uint64(s.secondary)))
+		}
+		op.Addr = base + mem.Addr(off)
+		op.Write = s.rng.Float64() < s.spec.StoreFrac
+		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, secondaryIndepScale)
+	case r < s.spec.PrimaryFrac+s.spec.MiddleFrac+s.spec.SecondaryFrac+s.spec.RWSharedFrac:
+		op.Addr = sharedBase + mem.Addr(s.rng.Uint64n(uint64(s.sharedPool)))
+		op.Write = s.rng.Float64() < s.spec.SharedWriteFrac
+		op.RWShared = true
+		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, sharedIndepScale)
+	default:
+		// Cold stream: uniform over a region far larger than any cache
+		// (16GB per core at paper scale), so reuse is negligible and the
+		// page-based DRAM cache finds no spatial footprint to exploit.
+		base := coldBase + mem.Addr(int64(s.core)*coldStride)
+		op.Addr = base + mem.Addr(s.rng.Uint64n(uint64(s.coldRegion)))
+		op.Write = s.rng.Float64() < s.spec.StoreFrac
+		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, coldIndepScale)
+		op.NonTemporal = true
+	}
+}
+
+// Prewarm visits every line of the stream's cache-resident footprints
+// exactly once — instructions, middle set, the secondary slice, and the
+// shared pool — calling visit for each. The secondary slice is emitted in
+// scan order starting at the scan cursor, so after a functional replay the
+// LRU state matches a scan that has been running forever. This is the
+// reproduction's substitute for the paper's warmed checkpoints: it seeds
+// steady-state cache contents in time proportional to the footprint rather
+// than to the access count that would organically touch it.
+func (s *Stream) Prewarm(visit func(addr mem.Addr, instr bool)) {
+	for off := int64(0); off < s.instrFP; off += mem.LineSize {
+		visit(instrBase+mem.Addr(off), true)
+	}
+	if s.middle > 0 {
+		base := middleBase + mem.Addr(int64(s.core)*middleStride)
+		for off := int64(0); off < s.middle; off += mem.LineSize {
+			visit(base+mem.Addr(off), false)
+		}
+	}
+	if s.sharedPool > 0 {
+		for off := int64(0); off < s.sharedPool; off += mem.LineSize {
+			visit(sharedBase+mem.Addr(off), false)
+		}
+	}
+	base := secBase + mem.Addr(int64(s.core)*secStride)
+	for i := int64(0); i < s.secondary; i += mem.LineSize {
+		off := (s.scanCursor + i) % s.secondary
+		visit(base+mem.Addr(off), false)
+	}
+}

@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestAllPresetsValidate(t *testing.T) {
+	var all []Spec
+	all = append(all, ScaleOutSuite()...)
+	all = append(all, EnterpriseSuite()...)
+	for _, n := range Spec2006Names() {
+		all = append(all, Spec2006(n))
+	}
+	for _, s := range all {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			s.Validate() // panics on failure
+			if cf := s.ColdFrac(); cf < 0 || cf > 0.2 {
+				t.Errorf("cold fraction %v implausible", cf)
+			}
+		})
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	so := ScaleOutSuite()
+	if len(so) != 5 {
+		t.Fatalf("scale-out suite has %d workloads, want 5", len(so))
+	}
+	want := []string{"WebSearch", "DataServing", "WebFrontend", "MapReduce", "SATSolver"}
+	for i, w := range want {
+		if so[i].Name != w || so[i].Class != ScaleOut {
+			t.Errorf("suite[%d] = %s (%v), want %s", i, so[i].Name, so[i].Class, w)
+		}
+	}
+	ent := EnterpriseSuite()
+	if len(ent) != 3 {
+		t.Fatalf("enterprise suite has %d workloads, want 3", len(ent))
+	}
+}
+
+func TestMixesMatchTable5(t *testing.T) {
+	mixes := Spec06Mixes()
+	if len(mixes) != 10 {
+		t.Fatalf("%d mixes, want 10 (paper Table V)", len(mixes))
+	}
+	// Spot-check the paper's rows.
+	if mixes[2].Benchmarks != [4]string{"mcf", "zeusmp", "calculix", "lbm"} {
+		t.Errorf("mix3 = %v", mixes[2].Benchmarks)
+	}
+	if mixes[5].Benchmarks != [4]string{"gobmk", "perlbench", "milc", "astar"} {
+		t.Errorf("mix6 = %v", mixes[5].Benchmarks)
+	}
+	// All components resolve.
+	for _, m := range mixes {
+		specs := MixSpecs(m)
+		if len(specs) != 4 {
+			t.Fatalf("%s resolved to %d specs", m.Name, len(specs))
+		}
+		for _, s := range specs {
+			if s.Class != Batch {
+				t.Errorf("%s: %s not Batch", m.Name, s.Name)
+			}
+		}
+	}
+}
+
+func TestUnknownSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Spec2006("h264ref")
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(WebSearch(), 3, 16, 16, 42)
+	b := NewStream(WebSearch(), 3, 16, 16, 42)
+	var oa, ob Op
+	for i := 0; i < 10000; i++ {
+		a.Next(&oa)
+		b.Next(&ob)
+		if oa != ob {
+			t.Fatalf("streams diverged at op %d: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestStreamsDifferAcrossCores(t *testing.T) {
+	a := NewStream(WebSearch(), 0, 16, 16, 42)
+	b := NewStream(WebSearch(), 1, 16, 16, 42)
+	var oa, ob Op
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a.Next(&oa)
+		b.Next(&ob)
+		if oa.IsMem && ob.IsMem && oa.Addr == ob.Addr {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("cores generated %d identical addresses of 1000; streams too correlated", same)
+	}
+}
+
+func TestMemRatioHolds(t *testing.T) {
+	s := NewStream(WebSearch(), 0, 16, 16, 1)
+	var op Op
+	memOps := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Next(&op)
+		if op.IsMem {
+			memOps++
+		}
+	}
+	got := float64(memOps) / n
+	want := WebSearch().MemRatio
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("measured mem ratio %v, want %v", got, want)
+	}
+}
+
+func TestRegionDisjointness(t *testing.T) {
+	// Every generated data address must land in exactly one declared region.
+	for _, spec := range ScaleOutSuite() {
+		s := NewStream(spec, 2, 16, 16, 7)
+		var op Op
+		for i := 0; i < 50000; i++ {
+			s.Next(&op)
+			if op.NewIFetchLine != 0 {
+				a := mem.Addr(op.NewIFetchLine)
+				if a < instrBase || a >= primaryBase {
+					t.Fatalf("%s: ifetch %#x outside instruction region", spec.Name, a)
+				}
+			}
+			if !op.IsMem {
+				continue
+			}
+			regions := 0
+			if op.Addr >= primaryBase && op.Addr < sharedBase {
+				regions++
+			}
+			if op.Addr >= sharedBase && op.Addr < secBase {
+				regions++
+				if !op.RWShared {
+					t.Fatalf("%s: shared-region address not flagged RWShared", spec.Name)
+				}
+			}
+			if op.Addr >= secBase && op.Addr < coldBase {
+				regions++
+			}
+			if op.Addr >= coldBase {
+				regions++
+			}
+			if regions != 1 {
+				t.Fatalf("%s: address %#x in %d regions", spec.Name, op.Addr, regions)
+			}
+		}
+	}
+}
+
+func TestScaleShrinksFootprints(t *testing.T) {
+	spec := MapReduce()
+	s1 := NewStream(spec, 0, 16, 1, 3)
+	s16 := NewStream(spec, 0, 16, 16, 3)
+	if s16.secondary*16 != s1.secondary {
+		t.Fatalf("scaled secondary %d, unscaled %d", s16.secondary, s1.secondary)
+	}
+	if s16.instrFP*16 != s1.instrFP {
+		t.Fatalf("scaled instrFP %d, unscaled %d", s16.instrFP, s1.instrFP)
+	}
+	// Primary is L1-level and must NOT scale: verify addresses stay within
+	// the full-size region span.
+	var op Op
+	maxPrimary := mem.Addr(0)
+	for i := 0; i < 100000; i++ {
+		s16.Next(&op)
+		if op.IsMem && op.Addr >= primaryBase && op.Addr < sharedBase {
+			if off := op.Addr - primaryBase; off > maxPrimary {
+				maxPrimary = off
+			}
+		}
+	}
+	if int64(maxPrimary) < spec.PrimaryWSS/2 {
+		t.Fatalf("primary region looks scaled: max offset %d for WSS %d", maxPrimary, spec.PrimaryWSS)
+	}
+}
+
+func TestRWSharedFractionApproximatesSpec(t *testing.T) {
+	spec := WebSearch()
+	s := NewStream(spec, 0, 16, 16, 11)
+	var op Op
+	shared, data := 0, 0
+	for i := 0; i < 400000; i++ {
+		s.Next(&op)
+		if op.IsMem {
+			data++
+			if op.RWShared {
+				shared++
+			}
+		}
+	}
+	got := float64(shared) / float64(data)
+	if math.Abs(got-spec.RWSharedFrac) > spec.RWSharedFrac/2 {
+		t.Fatalf("RW-shared fraction %v, want ~%v", got, spec.RWSharedFrac)
+	}
+}
+
+func TestIFetchSequentialAndJumps(t *testing.T) {
+	s := NewStream(WebSearch(), 0, 16, 16, 5)
+	var op Op
+	newLines, jumps := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Next(&op)
+		if op.NewIFetchLine != 0 {
+			newLines++
+			if op.Jump {
+				jumps++
+			}
+		}
+	}
+	// 16 instructions per 64B line: new lines at ~1/16 of instructions.
+	lineRate := float64(newLines) / n
+	if lineRate < 0.04 || lineRate > 0.09 {
+		t.Fatalf("new-line rate %v, want ~1/16", lineRate)
+	}
+	// Jumps happen roughly every JumpEveryLines line transitions.
+	jumpRate := float64(jumps) / float64(newLines)
+	want := 1 / float64(WebSearch().JumpEveryLines)
+	if math.Abs(jumpRate-want) > want/2 {
+		t.Fatalf("jump rate %v, want ~%v", jumpRate, want)
+	}
+}
+
+func TestScanCoversSecondary(t *testing.T) {
+	spec := SATSolver()
+	spec.ScanFrac = 1.0
+	spec.SecondaryFrac = 0.5
+	spec.PrimaryFrac = 0.45
+	spec.MiddleFrac = 0
+	spec.RWSharedFrac = 0
+	s := NewStream(spec, 0, 16, 16, 9)
+	var op Op
+	seen := map[mem.LineAddr]bool{}
+	for i := 0; i < 400000; i++ {
+		s.Next(&op)
+		if op.IsMem && op.Addr >= secBase && op.Addr < coldBase {
+			seen[op.Addr.Line()] = true
+		}
+	}
+	wantLines := int(s.secondary / mem.LineSize)
+	if len(seen) < wantLines*9/10 {
+		t.Fatalf("scan covered %d of %d secondary lines", len(seen), wantLines)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	bad := []func() Spec{
+		func() Spec { s := WebSearch(); s.Name = ""; return s },
+		func() Spec { s := WebSearch(); s.MemRatio = 0; return s },
+		func() Spec { s := WebSearch(); s.MemRatio = 1.2; return s },
+		func() Spec { s := WebSearch(); s.PrimaryFrac = 0.9; s.SecondaryFrac = 0.3; return s },
+		func() Spec { s := WebSearch(); s.JumpEveryLines = 0; return s },
+		func() Spec { s := WebSearch(); s.MLP = 0; return s },
+		func() Spec { s := WebSearch(); s.SecondaryWSS = 0; return s },
+		func() Spec { s := WebSearch(); s.SharedPool = 0; return s },
+	}
+	for i, mk := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			s := mk()
+			s.Validate()
+		}()
+	}
+}
+
+func TestNewStreamPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewStream(WebSearch(), -1, 16, 16, 1) },
+		func() { NewStream(WebSearch(), 16, 16, 16, 1) },
+		func() { NewStream(WebSearch(), 0, 16, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ScaleOut.String() != "scale-out" || Enterprise.String() != "enterprise" || Batch.String() != "batch" {
+		t.Fatal("class names wrong")
+	}
+}
