@@ -140,6 +140,31 @@ func BenchmarkFig16ThreeLevel(b *testing.B) {
 	}
 }
 
+// --- Experiment-runner parallelism ------------------------------------------
+
+// BenchmarkEvalSuiteSequential and BenchmarkEvalSuiteParallel run the same
+// Fig 10 suite (5 systems x 8 workloads = 40 cells) with one worker vs the
+// full worker pool. Their results are bit-identical (asserted by
+// TestFig10ParallelMatchesSequential); on an N-core machine the parallel
+// variant's ns/op should approach 1/N of the sequential one.
+
+func BenchmarkEvalSuiteSequential(b *testing.B) {
+	m := benchMode()
+	m.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(m)
+		b.ReportMetric(r.SpeedupOf("SILO"), "silo-geomean-x")
+	}
+}
+
+func BenchmarkEvalSuiteParallel(b *testing.B) {
+	m := benchMode() // Parallelism 0 = one worker per GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(m)
+		b.ReportMetric(r.SpeedupOf("SILO"), "silo-geomean-x")
+	}
+}
+
 // --- Ablations (DESIGN.md §6) ----------------------------------------------
 
 // benchSystem runs one system/workload pair and returns aggregate IPC.
@@ -203,15 +228,13 @@ func BenchmarkAblationPagePolicy(b *testing.B) {
 // Raw component benchmarks: simulator throughput on the hot paths.
 
 func BenchmarkSystemSimulationThroughput(b *testing.B) {
-	cfg := silo.SILOConfig(16)
-	cfg.Scale = 32
-	sys := silo.NewSystem(cfg, silo.WebSearch())
-	sys.Prewarm()
-	sys.WarmFunctional(100_000)
+	// Shared with paperbench -bench-json so BENCH_<date>.json snapshots
+	// stay comparable to this benchmark's output.
+	sys := experiments.ThroughputSystem()
 	b.ResetTimer()
 	var retired uint64
 	for i := 0; i < b.N; i++ {
-		m := sys.Run(0, 10_000)
+		m := sys.Run(0, experiments.ThroughputWindow)
 		retired += m.Retired
 	}
 	b.ReportMetric(float64(retired)/float64(b.N), "instr/iter")

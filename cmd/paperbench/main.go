@@ -1,12 +1,18 @@
 // Command paperbench regenerates every table and figure of the paper's
 // evaluation. By default it runs in quick mode; -full uses paper-scale
-// measurement windows. -only selects a single experiment (e.g. -only fig10).
+// measurement windows. -only selects a single experiment (e.g. -only
+// fig10). -parallel bounds the experiment runner's worker pool (0 = all
+// cores). -bench-json skips the tables and instead writes a
+// BENCH_<date>.json performance snapshot (simulator hot-path throughput
+// plus the Fig 10 suite) for tracking the perf trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -16,11 +22,22 @@ import (
 func main() {
 	full := flag.Bool("full", false, "use paper-scale measurement windows")
 	only := flag.String("only", "", "run a single experiment (fig1, fig2, fig3, fig4, fig7, fig8, table1, fig10, fig11, fig12, fig13, fig14, fig15, table6, fig16)")
+	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
+	benchJSON := flag.Bool("bench-json", false, "write a BENCH_<date>.json performance snapshot and exit")
 	flag.Parse()
 
 	mode := experiments.Quick()
 	if *full {
 		mode = experiments.Full()
+	}
+	mode.Parallelism = *parallel
+
+	if *benchJSON {
+		if err := writeBenchSnapshot(mode); err != nil {
+			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	runners := []struct {
@@ -59,4 +76,81 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+}
+
+// benchSnapshot is the schema of BENCH_<date>.json. ns/op figures follow
+// the go test -bench convention so snapshots are comparable to
+// BenchmarkSystemSimulationThroughput and BenchmarkFig10ScaleOut output.
+type benchSnapshot struct {
+	Date        string `json:"date"`
+	Mode        string `json:"mode"` // quick or full; full fig10 numbers are not comparable to quick ones
+	GoMaxProcs  int    `json:"go_max_procs"`
+	Parallelism int    `json:"parallelism"`
+
+	// SystemThroughput mirrors BenchmarkSystemSimulationThroughput: a
+	// warmed 16-core SILO system running Web Search, measured in 10K-cycle
+	// windows.
+	SystemThroughput struct {
+		Iters        int     `json:"iters"`
+		NsPerOp      float64 `json:"ns_per_op"`
+		InstrPerIter float64 `json:"instr_per_iter"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"system_throughput"`
+
+	// Fig10 is one Fig 10 suite run (5 systems x 8 workloads) through the
+	// concurrent runner, under the selected mode (see the "mode" field —
+	// quick and full snapshots are not comparable to each other).
+	Fig10 struct {
+		NsPerOp      float64 `json:"ns_per_op"`
+		SiloGeomeanX float64 `json:"silo_geomean_x"`
+	} `json:"fig10"`
+}
+
+// writeBenchSnapshot measures the two headline performance numbers and
+// writes them to BENCH_<date>.json in the current directory.
+func writeBenchSnapshot(mode experiments.Mode) error {
+	var snap benchSnapshot
+	snap.Date = time.Now().Format("2006-01-02")
+	snap.Mode = mode.Name
+	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
+	snap.Parallelism = mode.Parallelism
+
+	// Hot-path throughput: the same warmed system and window as
+	// BenchmarkSystemSimulationThroughput.
+	sys := experiments.ThroughputSystem()
+	const minWall = time.Second
+	var (
+		iters   int
+		retired uint64
+	)
+	evStart := sys.Engine().Executed()
+	start := time.Now()
+	for time.Since(start) < minWall {
+		m := sys.Run(0, experiments.ThroughputWindow)
+		retired += m.Retired
+		iters++
+	}
+	wall := time.Since(start)
+	snap.SystemThroughput.Iters = iters
+	snap.SystemThroughput.NsPerOp = float64(wall.Nanoseconds()) / float64(iters)
+	snap.SystemThroughput.InstrPerIter = float64(retired) / float64(iters)
+	snap.SystemThroughput.EventsPerSec = float64(sys.Engine().Executed()-evStart) / wall.Seconds()
+
+	// Fig 10 suite wall-clock through the concurrent runner.
+	start = time.Now()
+	r := experiments.Fig10(mode)
+	snap.Fig10.NsPerOp = float64(time.Since(start).Nanoseconds())
+	snap.Fig10.SiloGeomeanX = r.SpeedupOf("SILO")
+
+	name := fmt.Sprintf("BENCH_%s.json", snap.Date)
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (throughput %.2fms/op, fig10 %.2fs, silo geomean %.3fx)\n",
+		name, snap.SystemThroughput.NsPerOp/1e6, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
+	return nil
 }

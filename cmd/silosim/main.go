@@ -2,6 +2,9 @@
 // metrics. Example:
 //
 //	silosim -system silo -workload MapReduce -cores 16
+//
+// -system all runs every organization on the workload concurrently
+// (worker pool bounded by -parallel) and prints a comparison table.
 package main
 
 import (
@@ -14,34 +17,29 @@ import (
 )
 
 func main() {
-	system := flag.String("system", "silo", "baseline | baseline+dram | silo | silo-co | vaults-sh")
+	system := flag.String("system", "silo", "baseline | baseline+dram | silo | silo-co | vaults-sh | all")
 	name := flag.String("workload", "WebSearch", "workload name (scale-out, enterprise, or SPEC2006)")
 	cores := flag.Int("cores", 16, "core count (1-32, powers of two)")
 	warmInstr := flag.Int("warm-instr", 300_000, "functional warm-up instructions per core")
 	warm := flag.Uint64("warm-cycles", 20_000, "timed warm-up cycles")
 	measure := flag.Uint64("measure-cycles", 60_000, "measured cycles")
+	parallel := flag.Int("parallel", 0, "worker pool size for -system all (0 = all cores)")
 	flag.Parse()
-
-	var cfg silo.Config
-	switch strings.ToLower(*system) {
-	case "baseline":
-		cfg = silo.BaselineConfig(*cores)
-	case "baseline+dram", "dram":
-		cfg = silo.BaselineDRAMConfig(*cores)
-	case "silo":
-		cfg = silo.SILOConfig(*cores)
-	case "silo-co":
-		cfg = silo.SILOCOConfig(*cores)
-	case "vaults-sh":
-		cfg = silo.VaultsSharedConfig(*cores)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
-		os.Exit(2)
-	}
 
 	spec, ok := findWorkload(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	if strings.EqualFold(*system, "all") {
+		runAll(spec, *cores, *warmInstr, silo.Cycle(*warm), silo.Cycle(*measure), *parallel)
+		return
+	}
+
+	cfg, ok := findConfig(*system, *cores)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
 		os.Exit(2)
 	}
 
@@ -62,6 +60,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATION: %s\n", msg)
 		os.Exit(1)
 	}
+}
+
+// systemKinds is the single ordered table of organizations: findConfig
+// resolves names against it and -system all compares all of it.
+var systemKinds = []struct {
+	name string
+	cfg  func(cores int) silo.Config
+}{
+	{"baseline", silo.BaselineConfig},
+	{"baseline+dram", silo.BaselineDRAMConfig},
+	{"silo", silo.SILOConfig},
+	{"silo-co", silo.SILOCOConfig},
+	{"vaults-sh", silo.VaultsSharedConfig},
+}
+
+// runAll compares every system organization on one workload, running the
+// simulations concurrently through the experiments runner.
+func runAll(spec silo.Workload, cores, warmInstr int, warm, measure silo.Cycle, parallel int) {
+	cells := make([]silo.SimCell, len(systemKinds))
+	for i, k := range systemKinds {
+		cells[i] = silo.SimCell{Label: "silosim/" + k.name, Config: k.cfg(cores), Specs: []silo.Workload{spec}}
+	}
+	mode := silo.ExperimentMode{
+		Name:          "cli",
+		WarmInstr:     warmInstr,
+		WarmCycles:    warm,
+		MeasureCycles: measure,
+		// The runner overrides each cell's Scale from the mode; use the
+		// presets' own default so -system all matches the single-system path.
+		Scale:       cells[0].Config.Scale,
+		Parallelism: parallel,
+	}
+	ms := silo.RunCells(cells, mode)
+
+	fmt.Printf("workload=%s cores=%d (all systems)\n", spec.Name, cores)
+	fmt.Printf("%-16s %8s %10s %12s %10s\n", "system", "IPC", "hit-rate", "mem-reads", "vs-base")
+	base := ms[0].IPC()
+	for i, m := range ms {
+		rel := "-"
+		if base > 0 {
+			rel = fmt.Sprintf("%.3fx", m.IPC()/base)
+		}
+		fmt.Printf("%-16s %8.3f %9.1f%% %12d %10s\n",
+			cells[i].Config.Kind, m.IPC(), 100*m.LLCHitRate(), m.Stats.MemAccesses, rel)
+	}
+}
+
+func findConfig(system string, cores int) (silo.Config, bool) {
+	s := strings.ToLower(system)
+	if s == "dram" { // historical alias
+		s = "baseline+dram"
+	}
+	for _, k := range systemKinds {
+		if k.name == s {
+			return k.cfg(cores), true
+		}
+	}
+	return silo.Config{}, false
 }
 
 func findWorkload(name string) (silo.Workload, bool) {

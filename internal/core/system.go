@@ -93,8 +93,9 @@ func (s *System) Config() Config { return s.cfg }
 // Engine exposes the simulation engine (examples and tests).
 func (s *System) Engine() *sim.Engine { return s.engine }
 
-// coreAdapter implements cpu.Hierarchy over the system hierarchy, turning
-// computed latencies into completion events.
+// coreAdapter implements cpu.Hierarchy over the system hierarchy. It only
+// translates latencies: completion scheduling lives in the core, which
+// reuses pre-bound callbacks, so a timed access allocates nothing here.
 type coreAdapter struct {
 	sys  *System
 	core int
@@ -102,22 +103,14 @@ type coreAdapter struct {
 
 var _ cpu.Hierarchy = (*coreAdapter)(nil)
 
-func (a *coreAdapter) IFetch(core int, line mem.LineAddr, jump bool, done func()) bool {
+func (a *coreAdapter) IFetch(core int, line mem.LineAddr, jump bool) (sim.Cycle, bool) {
 	lat, hit := a.sys.hier.ifetch(core, line, jump, true)
-	if hit && lat == 0 {
-		return true
-	}
-	a.sys.engine.Schedule(lat, done)
-	return false
+	return lat, hit && lat == 0
 }
 
-func (a *coreAdapter) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool, done func()) bool {
+func (a *coreAdapter) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool) (sim.Cycle, bool) {
 	lat, hit := a.sys.hier.data(core, addr, write, rwShared, nonTemporal, true)
-	if hit && lat == 0 {
-		return true
-	}
-	a.sys.engine.Schedule(lat, done)
-	return false
+	return lat, hit && lat == 0
 }
 
 // WarmFunctional streams instrPerCore instructions per core through the

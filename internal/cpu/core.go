@@ -23,17 +23,21 @@ import (
 )
 
 // Hierarchy is the memory system as seen by one core. Implementations
-// return sync=true when the access completed synchronously (an L1 hit);
-// otherwise they must call done exactly once at completion time.
+// return the access latency and sync=true when the access completed
+// synchronously (an L1 hit); otherwise the core schedules its own
+// completion lat cycles out. Returning a latency instead of taking a
+// completion callback keeps the hot path allocation-free: the core reuses
+// one pre-bound callback per completion kind rather than closing over
+// per-access state.
 type Hierarchy interface {
 	// IFetch performs an instruction fetch of the given line. jump marks a
 	// non-sequential control transfer; sequential line transitions are
 	// covered by the next-line prefetcher and should complete
 	// synchronously.
-	IFetch(core int, line mem.LineAddr, jump bool, done func()) (sync bool)
+	IFetch(core int, line mem.LineAddr, jump bool) (lat sim.Cycle, sync bool)
 	// Data performs a data access. nonTemporal marks streaming
 	// accesses whose fills should not displace reused lines.
-	Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool, done func()) (sync bool)
+	Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool) (lat sim.Cycle, sync bool)
 }
 
 // Config shapes the core model.
@@ -55,6 +59,12 @@ type Core struct {
 	stream *workload.Stream
 	path   Hierarchy
 	mlp    int
+
+	// Pre-bound callbacks, allocated once so scheduling completions does
+	// not allocate per access.
+	stepFn     func()
+	resumeFn   func()
+	dataDoneFn func(uint64)
 
 	// Execution state.
 	running     bool
@@ -80,7 +90,7 @@ func New(engine *sim.Engine, id int, cfg Config, stream *workload.Stream, path H
 	if stream == nil || path == nil {
 		panic("cpu: nil stream or hierarchy")
 	}
-	return &Core{
+	c := &Core{
 		ID:     id,
 		cfg:    cfg,
 		engine: engine,
@@ -88,6 +98,10 @@ func New(engine *sim.Engine, id int, cfg Config, stream *workload.Stream, path H
 		path:   path,
 		mlp:    stream.Spec().MLP,
 	}
+	c.stepFn = c.step
+	c.resumeFn = c.resume
+	c.dataDoneFn = c.dataDone
+	return c
 }
 
 // Start schedules the core's first quantum.
@@ -96,7 +110,7 @@ func (c *Core) Start() {
 		panic("cpu: core already started")
 	}
 	c.running = true
-	c.engine.Schedule(0, c.step)
+	c.engine.Schedule(0, c.stepFn)
 }
 
 // computeCycles converts an instruction run into cycles at the issue width.
@@ -116,8 +130,9 @@ func (c *Core) step() {
 		// hierarchy still records them); jumps expose the fetch latency
 		// and always block.
 		if op.NewIFetchLine != 0 {
-			if sync := c.path.IFetch(c.ID, op.NewIFetchLine, op.Jump, c.resume); !sync {
+			if lat, sync := c.path.IFetch(c.ID, op.NewIFetchLine, op.Jump); !sync {
 				c.IFetchStall++
+				c.engine.Schedule(lat, c.resumeFn)
 				c.block()
 				return
 			}
@@ -131,10 +146,11 @@ func (c *Core) step() {
 		}
 		tok := c.tokens + 1
 		c.tokens = tok
-		sync := c.path.Data(c.ID, op.Addr, op.Write, op.RWShared, op.Independent, op.NonTemporal, func() { c.dataDone(tok) })
+		lat, sync := c.path.Data(c.ID, op.Addr, op.Write, op.RWShared, op.Independent, op.NonTemporal)
 		if sync {
 			continue
 		}
+		c.engine.ScheduleArg(lat, c.dataDoneFn, tok)
 		c.outstanding++
 		switch {
 		case !op.Independent:
@@ -156,7 +172,7 @@ func (c *Core) step() {
 	// Quantum exhausted without blocking: charge its compute time.
 	run := c.pendingRun
 	c.pendingRun = 0
-	c.engine.Schedule(c.computeCycles(run), c.step)
+	c.engine.Schedule(c.computeCycles(run), c.stepFn)
 }
 
 // block records the compute cycles accumulated before a blocking miss so
@@ -173,7 +189,7 @@ func (c *Core) block() {
 func (c *Core) resume() {
 	d := c.deferred
 	c.deferred = 0
-	c.engine.Schedule(d, c.step)
+	c.engine.Schedule(d, c.stepFn)
 }
 
 // dataDone handles completion of an outstanding data miss.

@@ -18,22 +18,20 @@ type fakeHierarchy struct {
 	ifetchCalls uint64
 }
 
-func (f *fakeHierarchy) IFetch(core int, line mem.LineAddr, jump bool, done func()) bool {
+func (f *fakeHierarchy) IFetch(core int, line mem.LineAddr, jump bool) (sim.Cycle, bool) {
 	f.ifetchCalls++
 	if !f.ifetchMiss || !jump || f.ifetchLat == 0 {
-		return true
+		return 0, true
 	}
-	f.engine.Schedule(f.ifetchLat, done)
-	return false
+	return f.ifetchLat, false
 }
 
-func (f *fakeHierarchy) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool, done func()) bool {
+func (f *fakeHierarchy) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool) (sim.Cycle, bool) {
 	f.dataAccess++
 	if f.dataMissLat == 0 {
-		return true
+		return 0, true
 	}
-	f.engine.Schedule(f.dataMissLat, done)
-	return false
+	return f.dataMissLat, false
 }
 
 func testSpec(mlp int, indep float64) workload.Spec {

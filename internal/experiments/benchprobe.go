@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ThroughputWindow is the measured window per iteration of the hot-path
+// throughput probe.
+const ThroughputWindow sim.Cycle = 10_000
+
+// ThroughputSystem builds the warmed reference system that both
+// BenchmarkSystemSimulationThroughput and paperbench -bench-json measure:
+// a 16-core SILO machine running Web Search at Scale 32, analytically
+// pre-warmed then functionally warmed. Keeping the harness in one place
+// keeps BENCH_<date>.json snapshots comparable to the go test -bench
+// numbers across commits.
+func ThroughputSystem() *core.System {
+	cfg := core.SILOConfig(16)
+	cfg.Scale = 32
+	sys := core.NewSystem(cfg, []workload.Spec{workload.WebSearch()})
+	sys.Prewarm()
+	sys.WarmFunctional(100_000)
+	return sys
+}

@@ -90,24 +90,29 @@ type CompareResult struct {
 	Geomean []float64
 }
 
-// compare runs a suite across the five systems.
-func compare(title string, suite []workload.Spec, m Mode) CompareResult {
+// compare runs a suite across the five systems as one concurrent cell
+// grid; name labels the cells for diagnostics.
+func compare(name, title string, suite []workload.Spec, m Mode) CompareResult {
 	cfgs := systemConfigs(16)
 	res := CompareResult{Title: title}
 	for _, c := range cfgs {
 		res.Systems = append(res.Systems, c.Kind.String())
 	}
-	perSystem := make([][]float64, len(cfgs))
+	var cells []Cell
 	for _, spec := range suite {
 		res.Workloads = append(res.Workloads, spec.Name)
-		base := 0.0
+		for _, cfg := range cfgs {
+			cells = append(cells, cell(fmt.Sprintf("%s/%s/%s", name, spec.Name, cfg.Kind), cfg, spec))
+		}
+	}
+	ipcs := RunCellIPCs(cells, m)
+	perSystem := make([][]float64, len(cfgs))
+	for wi := range suite {
+		k := wi * len(cfgs)
+		base := mustPositive(ipcs[k], cells[k].Label)
 		row := make([]float64, len(cfgs))
-		for si, cfg := range cfgs {
-			ipc := ipcOf(cfg, spec, m)
-			if si == 0 {
-				base = ipc
-			}
-			row[si] = ipc / base
+		for si := range cfgs {
+			row[si] = ipcs[k+si] / base
 			perSystem[si] = append(perSystem[si], row[si])
 		}
 		res.Norm = append(res.Norm, row)
@@ -120,13 +125,13 @@ func compare(title string, suite []workload.Spec, m Mode) CompareResult {
 
 // Fig10 compares the five systems on the scale-out suite — paper Fig 10.
 func Fig10(m Mode) CompareResult {
-	return compare("Fig 10: performance on scale-out workloads (normalized to Baseline)",
+	return compare("fig10", "Fig 10: performance on scale-out workloads (normalized to Baseline)",
 		workload.ScaleOutSuite(), m)
 }
 
 // Fig14 compares the five systems on the enterprise suite — paper Fig 14.
 func Fig14(m Mode) CompareResult {
-	return compare("Fig 14: performance on enterprise workloads (normalized to Baseline)",
+	return compare("fig14", "Fig 14: performance on enterprise workloads (normalized to Baseline)",
 		workload.EnterpriseSuite(), m)
 }
 
@@ -187,20 +192,28 @@ type Fig11Result struct {
 // Fig11 measures hit locality — paper Fig 11.
 func Fig11(m Mode) Fig11Result {
 	var res Fig11Result
-	for _, spec := range workload.ScaleOutSuite() {
+	suite := workload.ScaleOutSuite()
+	var cells []Cell
+	for _, spec := range suite {
 		res.Workloads = append(res.Workloads, spec.Name)
-		mb := runOne(core.BaselineConfig(16), []workload.Spec{spec}, m)
-		ms := runOne(core.SILOConfig(16), []workload.Spec{spec}, m)
-		bt := float64(mb.Stats.LLCAccesses)
-		st := float64(ms.Stats.LLCAccesses)
+		cells = append(cells,
+			cell("fig11/"+spec.Name+"/base", core.BaselineConfig(16), spec),
+			cell("fig11/"+spec.Name+"/silo", core.SILOConfig(16), spec))
+	}
+	ms2 := RunCells(cells, m)
+	for wi := range suite {
+		mb, ms := ms2[2*wi], ms2[2*wi+1]
+		bl, sl := cells[2*wi].Label, cells[2*wi+1].Label
+		bt := mustPositive(float64(mb.Stats.LLCAccesses), bl)
+		st := mustPositive(float64(ms.Stats.LLCAccesses), sl)
 		res.BaseLocal = append(res.BaseLocal, float64(mb.Stats.LocalHits)/bt)
 		res.BaseMiss = append(res.BaseMiss, float64(mb.Stats.Misses)/bt)
 		res.SILOLocal = append(res.SILOLocal, float64(ms.Stats.LocalHits)/st)
 		res.SILORemote = append(res.SILORemote, float64(ms.Stats.RemoteHits)/st)
 		res.SILOMiss = append(res.SILOMiss, float64(ms.Stats.Misses)/st)
-		bMPKI := float64(mb.Stats.Misses) / float64(mb.Retired)
-		sMPKI := float64(ms.Stats.Misses) / float64(ms.Retired)
-		res.MissReduction = append(res.MissReduction, 1-sMPKI/bMPKI)
+		bMPKI := float64(mb.Stats.Misses) / mustPositive(float64(mb.Retired), bl)
+		sMPKI := float64(ms.Stats.Misses) / mustPositive(float64(ms.Retired), sl)
+		res.MissReduction = append(res.MissReduction, 1-sMPKI/mustPositive(bMPKI, bl))
 	}
 	return res
 }
@@ -232,16 +245,22 @@ type Fig12Result struct {
 func Fig12(m Mode) Fig12Result {
 	res := Fig12Result{Variants: []string{"NoOpt", "LocalMP", "DirCache", "LocalMP+DirCache"}}
 	variants := [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}}
-	for _, spec := range workload.ScaleOutSuite() {
+	suite := workload.ScaleOutSuite()
+	var cells []Cell
+	for _, spec := range suite {
 		res.Workloads = append(res.Workloads, spec.Name)
-		var ipcs []float64
-		for _, v := range variants {
+		for vi, v := range variants {
 			cfg := core.SILOConfig(16)
 			cfg.LocalMissPredictor = v[0]
 			cfg.DirectoryCache = v[1]
-			ipcs = append(ipcs, ipcOf(cfg, spec, m))
+			cells = append(cells, cell(fmt.Sprintf("fig12/%s/%s", spec.Name, res.Variants[vi]), cfg, spec))
 		}
-		res.Norm = append(res.Norm, stats.Normalize(ipcs, ipcs[0]))
+	}
+	ipcs := RunCellIPCs(cells, m)
+	nv := len(variants)
+	for wi := range suite {
+		row := ipcs[wi*nv : (wi+1)*nv]
+		res.Norm = append(res.Norm, stats.Normalize(row, mustPositive(row[0], cells[wi*nv].Label)))
 	}
 	return res
 }
@@ -271,10 +290,17 @@ type Fig13Result struct {
 // fairly.
 func Fig13(m Mode) Fig13Result {
 	var res Fig13Result
-	for _, spec := range workload.ScaleOutSuite() {
+	suite := workload.ScaleOutSuite()
+	var cells []Cell
+	for _, spec := range suite {
 		res.Workloads = append(res.Workloads, spec.Name)
-		mb := runOne(core.BaselineConfig(16), []workload.Spec{spec}, m)
-		ms := runOne(core.SILOConfig(16), []workload.Spec{spec}, m)
+		cells = append(cells,
+			cell("fig13/"+spec.Name+"/base", core.BaselineConfig(16), spec),
+			cell("fig13/"+spec.Name+"/silo", core.SILOConfig(16), spec))
+	}
+	ms2 := RunCells(cells, m)
+	for wi := range suite {
+		mb, ms := ms2[2*wi], ms2[2*wi+1]
 
 		bp := energy.BaselineParams(16)
 		sp := energy.SILOParams(16)

@@ -8,6 +8,16 @@
 // default benchmarks) or Full (paper-scale windows, used by cmd/paperbench
 // -full). Both use the same systems and workloads; Quick trades some
 // statistical tightness for wall-clock time.
+//
+// # Concurrent execution
+//
+// Every simulation runner decomposes its (system x workload x sweep-point)
+// grid into independent Cells and executes them through RunCells, a worker
+// pool sized by Mode.Parallelism (default GOMAXPROCS). Each cell's
+// core.System is deterministic and confined to one goroutine, and results
+// are assembled in submission order, so a figure's output is bit-identical
+// at any parallelism level — Parallelism: 1 reproduces the historical
+// sequential path exactly.
 package experiments
 
 import (
@@ -27,6 +37,10 @@ type Mode struct {
 	WarmCycles    sim.Cycle
 	MeasureCycles sim.Cycle
 	Scale         int64
+	// Parallelism bounds RunCells' worker pool: <= 0 uses GOMAXPROCS and 1
+	// forces sequential execution. Results are identical at any setting;
+	// only wall-clock time changes.
+	Parallelism int
 }
 
 // Quick is the test/bench mode.
@@ -42,18 +56,19 @@ func Full() Mode {
 
 // runOne builds, warms, and measures a single system: analytic pre-warm of
 // the cache-resident footprints, functional instruction warm-up, then the
-// timed SMARTS window.
+// timed SMARTS window. Hierarchy invariants are validated after the
+// window; a violation panics rather than folding corrupt state into the
+// reported metrics.
 func runOne(cfg core.Config, specs []workload.Spec, m Mode) core.Metrics {
 	cfg.Scale = m.Scale
 	sys := core.NewSystem(cfg, specs)
 	sys.Prewarm()
 	sys.WarmFunctional(m.WarmInstr)
-	return sys.Run(m.WarmCycles, m.MeasureCycles)
-}
-
-// ipcOf measures aggregate IPC for one (config, workload) pair.
-func ipcOf(cfg core.Config, spec workload.Spec, m Mode) float64 {
-	return runOne(cfg, []workload.Spec{spec}, m).IPC()
+	met := sys.Run(m.WarmCycles, m.MeasureCycles)
+	if msg := sys.CheckInvariants(); msg != "" {
+		panic("invariant violation: " + msg)
+	}
+	return met
 }
 
 // row formatting helpers shared by the String() methods.
@@ -87,15 +102,20 @@ type Fig1Result struct {
 func Fig1(m Mode) Fig1Result {
 	suite := workload.ScaleOutSuite()
 	res := Fig1Result{CapacitiesMB: Fig1CapacitiesMB}
+	var cells []Cell
 	for _, spec := range suite {
 		res.Workloads = append(res.Workloads, spec.Name)
-		var ipcs []float64
 		for _, mb := range res.CapacitiesMB {
 			cfg := core.BaselineConfig(16)
 			cfg.LLCSize = mb << 20
-			ipcs = append(ipcs, ipcOf(cfg, spec, m))
+			cells = append(cells, cell(fmt.Sprintf("fig1/%s/%dMB", spec.Name, mb), cfg, spec))
 		}
-		res.Norm = append(res.Norm, stats.Normalize(ipcs, ipcs[0]))
+	}
+	ipcs := RunCellIPCs(cells, m)
+	nc := len(res.CapacitiesMB)
+	for wi := range suite {
+		row := ipcs[wi*nc : (wi+1)*nc]
+		res.Norm = append(res.Norm, stats.Normalize(row, mustPositive(row[0], cells[wi*nc].Label)))
 	}
 	return res
 }
@@ -127,28 +147,43 @@ type Fig2Result struct {
 
 // Fig2 sweeps added LLC access latency from 0 to 100% of the baseline hit
 // time for capacities 64MB-1GB — paper Fig 2. The baseline hit time is
-// ~23 cycles, so the sweep adds 0..23 cycles.
+// ~23 cycles, so the sweep adds 0..23 cycles. The 8MB base-latency
+// reference cells and the whole sweep grid run as one RunCells batch.
 func Fig2(m Mode) Fig2Result {
 	suite := workload.ScaleOutSuite()
 	res := Fig2Result{
 		CapacitiesMB: []int64{64, 128, 256, 512, 1024},
 		ExtraPct:     []int{0, 20, 40, 60, 80, 100},
 	}
-	// Reference: 8MB at base latency.
-	base := make([]float64, len(suite))
-	for i, spec := range suite {
-		base[i] = ipcOf(core.BaselineConfig(16), spec, m)
+	// Reference cells first: 8MB at base latency, one per workload.
+	var cells []Cell
+	for _, spec := range suite {
+		cells = append(cells, cell("fig2/base/"+spec.Name, core.BaselineConfig(16), spec))
 	}
 	const baseRoundTrip = 23.0
 	for _, mb := range res.CapacitiesMB {
-		var row []float64
 		for _, pct := range res.ExtraPct {
-			normPerWorkload := make([]float64, len(suite))
-			for i, spec := range suite {
+			for _, spec := range suite {
 				cfg := core.BaselineConfig(16)
 				cfg.LLCSize = mb << 20
 				cfg.LLCExtraLatency = sim.Cycle(float64(pct) / 100 * baseRoundTrip)
-				normPerWorkload[i] = ipcOf(cfg, spec, m) / base[i]
+				cells = append(cells, cell(fmt.Sprintf("fig2/%s/%dMB/+%d%%", spec.Name, mb, pct), cfg, spec))
+			}
+		}
+	}
+	ipcs := RunCellIPCs(cells, m)
+	base := ipcs[:len(suite)]
+	for i := range base {
+		mustPositive(base[i], cells[i].Label)
+	}
+	k := len(suite)
+	for range res.CapacitiesMB {
+		var row []float64
+		for range res.ExtraPct {
+			normPerWorkload := make([]float64, len(suite))
+			for i := range suite {
+				normPerWorkload[i] = ipcs[k] / base[i]
+				k++
 			}
 			row = append(row, stats.Geomean(normPerWorkload))
 		}
@@ -184,11 +219,14 @@ type Fig3Result struct {
 // Fig3 characterizes LLC accesses on the baseline — paper Fig 3.
 func Fig3(m Mode) Fig3Result {
 	var res Fig3Result
+	var cells []Cell
 	for _, spec := range workload.ScaleOutSuite() {
-		met := runOne(core.BaselineConfig(16), []workload.Spec{spec}, m)
+		res.Workloads = append(res.Workloads, spec.Name)
+		cells = append(cells, cell("fig3/"+spec.Name, core.BaselineConfig(16), spec))
+	}
+	for _, met := range RunCells(cells, m) {
 		s := met.Stats
 		total := float64(s.LLCAccesses)
-		res.Workloads = append(res.Workloads, spec.Name)
 		res.ReadsPct = append(res.ReadsPct, 100*float64(s.Reads)/total)
 		res.WritesNoSharingPct = append(res.WritesNoSharingPct, 100*float64(s.WritesPrivate)/total)
 		res.WritesRWSharingPct = append(res.WritesRWSharingPct, 100*float64(s.WritesRWShared)/total)
@@ -221,15 +259,21 @@ type Fig4Result struct {
 // paper Fig 4.
 func Fig4(m Mode) Fig4Result {
 	res := Fig4Result{Mults: []int{1, 2, 3, 4}}
-	for _, spec := range workload.ScaleOutSuite() {
+	suite := workload.ScaleOutSuite()
+	var cells []Cell
+	for _, spec := range suite {
 		res.Workloads = append(res.Workloads, spec.Name)
-		var ipcs []float64
 		for _, mult := range res.Mults {
 			cfg := core.BaselineConfig(16)
 			cfg.RWSharedMult = mult
-			ipcs = append(ipcs, ipcOf(cfg, spec, m))
+			cells = append(cells, cell(fmt.Sprintf("fig4/%s/%dx", spec.Name, mult), cfg, spec))
 		}
-		res.Norm = append(res.Norm, stats.Normalize(ipcs, ipcs[0]))
+	}
+	ipcs := RunCellIPCs(cells, m)
+	nm := len(res.Mults)
+	for wi := range suite {
+		row := ipcs[wi*nm : (wi+1)*nm]
+		res.Norm = append(res.Norm, stats.Normalize(row, mustPositive(row[0], cells[wi*nm].Label)))
 	}
 	return res
 }

@@ -20,12 +20,19 @@ type Fig15Result struct {
 // Fig15 runs the paper's ten SPEC'06 mixes on the 4-core setup — Fig 15.
 func Fig15(m Mode) Fig15Result {
 	var res Fig15Result
-	for _, mix := range workload.Spec06Mixes() {
+	mixes := workload.Spec06Mixes()
+	var cells []Cell
+	for _, mix := range mixes {
 		specs := workload.MixSpecs(mix)
-		mb := runOne(core.BaselineConfig(4), specs, m)
-		ms := runOne(core.SILOConfig(4), specs, m)
 		res.Mixes = append(res.Mixes, mix.Name)
-		res.Speedup = append(res.Speedup, ms.IPC()/mb.IPC())
+		cells = append(cells,
+			Cell{Label: "fig15/" + mix.Name + "/base", Config: core.BaselineConfig(4), Specs: specs},
+			Cell{Label: "fig15/" + mix.Name + "/silo", Config: core.SILOConfig(4), Specs: specs})
+	}
+	ms2 := RunCells(cells, m)
+	for i := range mixes {
+		mb, ms := ms2[2*i], ms2[2*i+1]
+		res.Speedup = append(res.Speedup, ms.IPC()/mustPositive(mb.IPC(), cells[2*i].Label))
 	}
 	return res
 }
@@ -59,13 +66,14 @@ type Table6Result struct {
 }
 
 // Table6 reproduces the colocation study: Web Search on 8 cores, mcf on
-// the other 8 — paper Table VI.
+// the other 8 — paper Table VI. All four setups run as one concurrent
+// batch.
 func Table6(m Mode) Table6Result {
 	ws := workload.WebSearch()
 	mcf := workload.Spec2006("mcf")
 	idle := idleSpec()
 
-	run := func(cfg core.Config, other workload.Spec) float64 {
+	mixed := func(other workload.Spec) []workload.Spec {
 		specs := make([]workload.Spec, 16)
 		for i := 0; i < 8; i++ {
 			specs[i] = ws
@@ -73,18 +81,27 @@ func Table6(m Mode) Table6Result {
 		for i := 8; i < 16; i++ {
 			specs[i] = other
 		}
-		met := runOne(cfg, specs, m)
-		return met.RangeIPC(0, 8) // Web Search cores only
+		return specs
 	}
 
-	var res Table6Result
-	res.SharedAlone = run(core.BaselineConfig(16), idle)
-	base := res.SharedAlone
-	res.SharedAlone = 1
-	res.SharedColoc = run(core.BaselineConfig(16), mcf) / base
-	res.SILOAlone = run(core.SILOConfig(16), idle) / base
-	res.SILOColoc = run(core.SILOConfig(16), mcf) / base
-	return res
+	cells := []Cell{
+		{Label: "table6/shared/alone", Config: core.BaselineConfig(16), Specs: mixed(idle)},
+		{Label: "table6/shared/mcf", Config: core.BaselineConfig(16), Specs: mixed(mcf)},
+		{Label: "table6/silo/alone", Config: core.SILOConfig(16), Specs: mixed(idle)},
+		{Label: "table6/silo/mcf", Config: core.SILOConfig(16), Specs: mixed(mcf)},
+	}
+	ms := RunCells(cells, m)
+	ipc := make([]float64, len(ms))
+	for i, met := range ms {
+		ipc[i] = met.RangeIPC(0, 8) // Web Search cores only
+	}
+	base := mustPositive(ipc[0], cells[0].Label)
+	return Table6Result{
+		SharedAlone: 1,
+		SharedColoc: ipc[1] / base,
+		SILOAlone:   ipc[2] / base,
+		SILOColoc:   ipc[3] / base,
+	}
 }
 
 // idleSpec is a compute-bound filler whose footprint disturbs no cache:
@@ -136,13 +153,22 @@ func Fig16(m Mode) Fig16Result {
 
 	silo := core.SILOConfig(16).WithL2()
 
-	for _, spec := range workload.ScaleOutSuite() {
+	suite := workload.ScaleOutSuite()
+	var cells []Cell
+	for _, spec := range suite {
 		res.Workloads = append(res.Workloads, spec.Name)
-		base := ipcOf(sram, spec, m)
+		cells = append(cells,
+			cell("fig16/"+spec.Name+"/sram", sram, spec),
+			cell("fig16/"+spec.Name+"/edram", edram, spec),
+			cell("fig16/"+spec.Name+"/silo", silo, spec))
+	}
+	ipcs := RunCellIPCs(cells, m)
+	for wi := range suite {
+		base := mustPositive(ipcs[3*wi], cells[3*wi].Label)
 		res.Norm = append(res.Norm, []float64{
 			1,
-			ipcOf(edram, spec, m) / base,
-			ipcOf(silo, spec, m) / base,
+			ipcs[3*wi+1] / base,
+			ipcs[3*wi+2] / base,
 		})
 	}
 	return res

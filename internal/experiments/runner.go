@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Cell is one independent simulation of an experiment grid: a system
+// configuration running a workload assignment. Every figure/table runner
+// decomposes into cells, which the runner executes concurrently — each
+// core.System is deterministic and confined to a single goroutine, so the
+// grid parallelizes with no cross-cell coordination.
+type Cell struct {
+	// Label names the cell in panics and diagnostics, e.g.
+	// "fig10/WebSearch/SILO".
+	Label  string
+	Config core.Config
+	Specs  []workload.Spec
+}
+
+// cell is a convenience constructor for single-workload cells.
+func cell(label string, cfg core.Config, spec workload.Spec) Cell {
+	return Cell{Label: label, Config: cfg, Specs: []workload.Spec{spec}}
+}
+
+// RunCells executes every cell under mode m and returns metrics in
+// submission order, so callers assemble results exactly as the sequential
+// loops they replace did and outputs stay bit-identical regardless of
+// worker count. m.Parallelism bounds the worker pool: <= 0 uses
+// GOMAXPROCS, 1 degenerates to the in-place sequential path. A panic
+// inside any cell is captured and re-raised on the calling goroutine,
+// prefixed with the cell's label.
+func RunCells(cells []Cell, m Mode) []core.Metrics {
+	out := make([]core.Metrics, len(cells))
+	workers := m.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			out[i] = runCell(c, m)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		panicked = make([]any, len(cells))
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				// Once any cell has failed the batch's results will be
+				// discarded, so stop claiming work instead of simulating
+				// the rest of the grid.
+				if i >= len(cells) || failed.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked[i] = r
+							failed.Store(true)
+						}
+					}()
+					out[i] = runCell(cells[i], m)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range panicked {
+		if r != nil {
+			panic(r) // already labeled by runCell
+		}
+	}
+	return out
+}
+
+// runCell builds, warms, and measures one cell, like runOne but with the
+// cell's label attached to any panic.
+func runCell(c Cell, m Mode) core.Metrics {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Sprintf("experiments: cell %q: %v", c.Label, r))
+		}
+	}()
+	return runOne(c.Config, c.Specs, m)
+}
+
+// RunCellIPCs runs the cells and reduces each to its aggregate IPC — the
+// common case for normalized-performance figures.
+func RunCellIPCs(cells []Cell, m Mode) []float64 {
+	ms := RunCells(cells, m)
+	ipcs := make([]float64, len(ms))
+	for i, met := range ms {
+		ipcs[i] = met.IPC()
+	}
+	return ipcs
+}
+
+// mustPositive guards normalization denominators: dividing by a zero (or
+// negative, or NaN) baseline value would silently poison a whole
+// normalized row with +Inf/NaN, so fail loudly naming the offending cell
+// instead.
+func mustPositive(v float64, label string) float64 {
+	if !(v > 0) {
+		panic(fmt.Sprintf("experiments: baseline cell %q produced non-positive value %v; cannot normalize", label, v))
+	}
+	return v
+}

@@ -3,7 +3,15 @@
 // The engine keeps a monotonically increasing cycle clock and a priority
 // queue of events ordered by (cycle, insertion sequence). Ties are broken
 // FIFO so that two runs of the same program always execute events in the
-// same order: the whole simulator is single-goroutine and reproducible.
+// same order: each engine is single-goroutine and reproducible. Distinct
+// engines share no state, so independent simulations may run concurrently
+// on separate goroutines (see the experiments runner).
+//
+// Hot-path notes: events carry either a plain func() or a func(uint64)
+// with a pre-bound argument (ScheduleArg/AtArg). The argument form lets
+// callers reuse one long-lived callback for many in-flight events instead
+// of allocating a fresh closure per event — the dominant allocation source
+// in the simulator's inner loop before it was removed.
 package sim
 
 import "fmt"
@@ -11,24 +19,32 @@ import "fmt"
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
 
-// Event is a closure scheduled to run at a particular cycle.
+// event is a callback scheduled to run at a particular cycle. Exactly one
+// of fn and afn is set; afn receives arg, which lets hot callers avoid a
+// per-event closure allocation.
 type event struct {
 	when Cycle
 	seq  uint64
 	fn   func()
+	afn  func(uint64)
+	arg  uint64
 }
+
+// initialHeapCap pre-sizes the event heap so steady-state simulations
+// (hundreds of in-flight events across cores, caches and controllers)
+// never grow it during the measured window.
+const initialHeapCap = 1024
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	heap   []event
-	nEvts  uint64 // total events executed
-	closed bool
+	now   Cycle
+	seq   uint64
+	heap  []event
+	nEvts uint64 // total events executed
 }
 
-// NewEngine returns an empty engine at cycle 0.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine at cycle 0 with a pre-sized event heap.
+func NewEngine() *Engine { return &Engine{heap: make([]event, 0, initialHeapCap)} }
 
 // Now reports the current simulation cycle.
 func (e *Engine) Now() Cycle { return e.now }
@@ -57,26 +73,56 @@ func (e *Engine) At(when Cycle, fn func()) {
 	e.push(event{when: when, seq: e.seq, fn: fn})
 }
 
+// ScheduleArg runs fn(arg) delay cycles from now. Because fn is typically
+// a long-lived callback bound once per component, scheduling this way
+// performs no allocation beyond the heap slot.
+func (e *Engine) ScheduleArg(delay Cycle, fn func(uint64), arg uint64) {
+	e.AtArg(e.now+delay, fn, arg)
+}
+
+// AtArg runs fn(arg) at the given absolute cycle, which must not be in the
+// past.
+func (e *Engine) AtArg(when Cycle, fn func(uint64), arg uint64) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	e.push(event{when: when, seq: e.seq, afn: fn, arg: arg})
+}
+
+// dispatch advances the clock to ev and runs its callback.
+func (e *Engine) dispatch(ev event) {
+	e.now = ev.when
+	e.nEvts++
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.afn(ev.arg)
+	}
+}
+
 // Step executes the next pending event, advancing the clock to its cycle.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := e.pop()
-	e.now = ev.when
-	e.nEvts++
-	ev.fn()
+	e.dispatch(e.pop())
 	return true
 }
 
 // Run executes events until the queue drains or the clock would pass limit.
 // Events scheduled exactly at limit are executed. It returns the number of
-// events executed by this call.
+// events executed by this call. The drain loop pops directly rather than
+// going through Step so the per-event cost is one heap pop plus the
+// callback.
 func (e *Engine) Run(limit Cycle) uint64 {
 	start := e.nEvts
 	for len(e.heap) > 0 && e.heap[0].when <= limit {
-		e.Step()
+		e.dispatch(e.pop())
 	}
 	if e.now < limit {
 		e.now = limit
@@ -87,47 +133,56 @@ func (e *Engine) Run(limit Cycle) uint64 {
 // RunAll executes events until the queue is drained.
 func (e *Engine) RunAll() uint64 {
 	start := e.nEvts
-	for e.Step() {
+	for len(e.heap) > 0 {
+		e.dispatch(e.pop())
 	}
 	return e.nEvts - start
 }
 
-// push inserts ev into the binary min-heap.
+// push inserts ev into the binary min-heap, sifting the insertion hole up
+// instead of swapping so each level costs one copy.
 func (e *Engine) push(ev event) {
 	e.heap = append(e.heap, ev)
 	i := len(e.heap) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !less(e.heap[i], e.heap[parent]) {
+		if !less(ev, e.heap[parent]) {
 			break
 		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		e.heap[i] = e.heap[parent]
 		i = parent
 	}
+	e.heap[i] = ev
 }
 
-// pop removes and returns the earliest event.
+// pop removes and returns the earliest event, sifting the root hole down
+// with single copies.
 func (e *Engine) pop() event {
 	top := e.heap[0]
 	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
+	moved := e.heap[last]
+	e.heap[last] = event{} // release callback references
 	e.heap = e.heap[:last]
+	if last == 0 {
+		return top
+	}
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && less(e.heap[l], e.heap[smallest]) {
+		smallest := -1
+		if l < last && less(e.heap[l], moved) {
 			smallest = l
 		}
-		if r < last && less(e.heap[r], e.heap[smallest]) {
+		if r < last && less(e.heap[r], e.heap[l]) && less(e.heap[r], moved) {
 			smallest = r
 		}
-		if smallest == i {
+		if smallest < 0 {
 			break
 		}
-		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		e.heap[i] = e.heap[smallest]
 		i = smallest
 	}
+	e.heap[i] = moved
 	return top
 }
 

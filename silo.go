@@ -58,9 +58,18 @@ type (
 	VaultDesign = dram.VaultDesign
 	// Cycle is simulated time in core clock cycles.
 	Cycle = sim.Cycle
-	// ExperimentMode sizes experiment warm-up and measurement windows.
+	// ExperimentMode sizes experiment warm-up and measurement windows and
+	// bounds the runner's worker pool via its Parallelism field.
 	ExperimentMode = experiments.Mode
+	// SimCell is one independent simulation (config + per-core workloads +
+	// label) for RunCells.
+	SimCell = experiments.Cell
 )
+
+// RunCells executes independent simulation cells on a worker pool sized by
+// the mode's Parallelism (default GOMAXPROCS), returning metrics in
+// submission order; results are bit-identical to sequential execution.
+var RunCells = experiments.RunCells
 
 // System kinds.
 const (
