@@ -17,6 +17,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/mem"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -239,6 +240,22 @@ func BenchmarkSystemSimulationThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(retired)/float64(b.N), "instr/iter")
 }
+
+// BenchmarkSchedulerProbe* time the engine's event-queue implementations on
+// the canonical simulator event mix (see experiments.RunSchedulerProbe;
+// paperbench -bench-json reports the same probe in BENCH_<date>.json). The
+// calendar queue is the engine default; the binary heap is the reference.
+
+func benchSchedulerProbe(b *testing.B, kind sim.SchedulerKind) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += experiments.RunSchedulerProbe(kind)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+func BenchmarkSchedulerProbeCalendar(b *testing.B) { benchSchedulerProbe(b, sim.CalendarQueue) }
+func BenchmarkSchedulerProbeHeap(b *testing.B)     { benchSchedulerProbe(b, sim.BinaryHeap) }
 
 // BenchmarkDirectoryOps measures the duplicate-tag directory's hot path:
 // a read-share-write-evict cycle across 16 cores.

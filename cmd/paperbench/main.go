@@ -11,12 +11,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -86,6 +88,17 @@ type benchSnapshot struct {
 	Mode        string `json:"mode"` // quick or full; full fig10 numbers are not comparable to quick ones
 	GoMaxProcs  int    `json:"go_max_procs"`
 	Parallelism int    `json:"parallelism"`
+	// Scheduler is the engine's event-queue implementation (the default for
+	// every system the snapshot measures).
+	Scheduler string `json:"scheduler"`
+
+	// SchedulerProbe compares the event-queue implementations on the
+	// canonical event mix (experiments.RunSchedulerProbe), mirroring
+	// BenchmarkSchedulerProbeCalendar/Heap.
+	SchedulerProbe struct {
+		CalendarNsPerEvent float64 `json:"calendar_ns_per_event"`
+		HeapNsPerEvent     float64 `json:"heap_ns_per_event"`
+	} `json:"scheduler_probe"`
 
 	// SystemThroughput mirrors BenchmarkSystemSimulationThroughput: a
 	// warmed 16-core SILO system running Web Search, measured in 10K-cycle
@@ -114,6 +127,23 @@ func writeBenchSnapshot(mode experiments.Mode) error {
 	snap.Mode = mode.Name
 	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
 	snap.Parallelism = mode.Parallelism
+	snap.Scheduler = sim.NewEngine().SchedulerName()
+
+	// Event-queue comparison on the canonical mix (a few probe runs each,
+	// best-of to shed scheduling noise).
+	probe := func(kind sim.SchedulerKind) float64 {
+		best := math.Inf(1)
+		for r := 0; r < 3; r++ {
+			t0 := time.Now()
+			events := experiments.RunSchedulerProbe(kind)
+			if ns := float64(time.Since(t0).Nanoseconds()) / float64(events); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	snap.SchedulerProbe.CalendarNsPerEvent = probe(sim.CalendarQueue)
+	snap.SchedulerProbe.HeapNsPerEvent = probe(sim.BinaryHeap)
 
 	// Hot-path throughput: the same warmed system and window as
 	// BenchmarkSystemSimulationThroughput.
@@ -150,7 +180,8 @@ func writeBenchSnapshot(mode experiments.Mode) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (throughput %.2fms/op, fig10 %.2fs, silo geomean %.3fx)\n",
-		name, snap.SystemThroughput.NsPerOp/1e6, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
+	fmt.Fprintf(os.Stderr, "wrote %s (%s: %.1f ns/event vs heap %.1f; throughput %.2fms/op, fig10 %.2fs, silo geomean %.3fx)\n",
+		name, snap.Scheduler, snap.SchedulerProbe.CalendarNsPerEvent, snap.SchedulerProbe.HeapNsPerEvent,
+		snap.SystemThroughput.NsPerOp/1e6, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
 	return nil
 }

@@ -147,6 +147,16 @@ func (f *SnoopFilter) InvalidateAll(line mem.LineAddr) []int {
 // Entries returns the number of tracked lines.
 func (f *SnoopFilter) Entries() int { return len(f.entries) }
 
+// ForEachEntry calls fn for every tracked line with its holder mask (bit c
+// set: core c's private caches hold the line) and dirty owner (-1 when
+// clean). Iteration order is unspecified; fn must not mutate the filter.
+// Hierarchies use it to cross-check tracking against actual cache contents.
+func (f *SnoopFilter) ForEachEntry(fn func(line mem.LineAddr, mask uint32, owner int)) {
+	for line, e := range f.entries {
+		fn(line, e.mask, int(e.owner))
+	}
+}
+
 // CheckInvariants validates the representation, returning "" when healthy.
 func (f *SnoopFilter) CheckInvariants() string {
 	for line, e := range f.entries {

@@ -157,10 +157,12 @@ func (h *sharedHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemp
 		return h.writeTransaction(core, line, rwShared, nonTemporal, timing), false
 	}
 
-	// Optional private L2.
+	// Optional private L2. The L1 fill goes through fillPrivate (as the
+	// LLC paths do) so the displaced victim's snoop tracking is released:
+	// a bare insert here left the filter believing the victim's old owner
+	// still held it, producing spurious forwards and invalidations.
 	if h.l2 != nil && h.l2[core].Contains(line) {
-		h.l2[core].Touch(line)
-		h.l1d[core].Insert(line, cache.Shared)
+		h.fillPrivate(core, line)
 		if write {
 			if h.snoop.DirtyOwner(line) == core {
 				return cfg.L2Latency, false
@@ -358,5 +360,29 @@ func (h *sharedHierarchy) check() string {
 			return fmt.Sprintf("core %d L1D over capacity", c)
 		}
 	}
-	return ""
+	// Filter-vs-contents cross-check: every tracked (line, core) pair must
+	// correspond to a resident copy in that core's private levels. A stale
+	// entry makes the filter "forward" from a cache that no longer holds
+	// the line, inflating coherence traffic and latency.
+	msg := ""
+	h.snoop.ForEachEntry(func(line mem.LineAddr, mask uint32, owner int) {
+		if msg != "" {
+			return
+		}
+		for c := 0; c < h.sys.cfg.Cores; c++ {
+			if mask&(1<<uint(c)) == 0 {
+				continue
+			}
+			if h.l1d[c].Contains(line) || h.l1i[c].Contains(line) {
+				continue
+			}
+			if h.l2 != nil && h.l2[c].Contains(line) {
+				continue
+			}
+			msg = fmt.Sprintf("line %#x: snoop filter tracks core %d (owner %d) but no private cache holds it",
+				uint64(line), c, owner)
+			return
+		}
+	})
+	return msg
 }

@@ -74,6 +74,12 @@ type Core struct {
 	tokens      uint64
 	pendingRun  int       // instructions executed since last cycle charge
 	deferred    sim.Cycle // compute cycles owed when the current block resolves
+	// stalledOp holds the op whose instruction fetch is in flight: the
+	// stream has already produced it, so resume must finish executing it
+	// rather than fetch the next op (dropping it would silently lose one
+	// retirement — and one memory access — per frontend stall).
+	stalledOp   workload.Op
+	haveStalled bool
 
 	// Statistics.
 	Retired     uint64
@@ -123,7 +129,14 @@ func (c *Core) computeCycles(instr int) sim.Cycle {
 func (c *Core) step() {
 	var op workload.Op
 	for executed := 0; executed < c.cfg.Burst; executed++ {
-		c.stream.Next(&op)
+		if c.haveStalled {
+			// Resuming from an ifetch stall: finish the op whose fetch just
+			// completed instead of consuming a new one.
+			op = c.stalledOp
+			c.haveStalled = false
+		} else {
+			c.stream.Next(&op)
+		}
 
 		// Frontend: a new instruction line may miss the L1-I. Sequential
 		// line transitions are covered by the next-line prefetcher (the
@@ -132,6 +145,11 @@ func (c *Core) step() {
 		if op.NewIFetchLine != 0 {
 			if lat, sync := c.path.IFetch(c.ID, op.NewIFetchLine, op.Jump); !sync {
 				c.IFetchStall++
+				// Stash the op; the fetch completes during the stall, so
+				// clear the line to not re-issue it on resume.
+				op.NewIFetchLine = 0
+				c.stalledOp = op
+				c.haveStalled = true
 				c.engine.Schedule(lat, c.resumeFn)
 				c.block()
 				return

@@ -124,6 +124,55 @@ func TestIFetchMissesBlock(t *testing.T) {
 	}
 }
 
+// Regression test: the op whose instruction fetch misses must still retire
+// after the stall resolves. The buggy path consumed the op from the stream,
+// blocked on the fetch, and then fetched the *next* op on resume — so every
+// ifetch stall silently dropped one instruction (and its memory access).
+func TestIFetchStallDoesNotDropOps(t *testing.T) {
+	e := sim.NewEngine()
+	h := &fakeHierarchy{engine: e, ifetchMiss: true, ifetchLat: 23}
+	spec := testSpec(2, 0.5)
+	stream := workload.NewStream(spec, 0, 1, 16, 42)
+	c := New(e, 0, DefaultConfig(), stream, h)
+	c.Start()
+	e.Run(50000)
+	if c.IFetchStall == 0 {
+		t.Fatal("scenario produced no ifetch stalls")
+	}
+	// Every op consumed from the stream must have retired, except at most
+	// the one op stashed while its fetch stall is still in flight.
+	consumed := stream.Generated()
+	if consumed-c.Retired > 1 {
+		t.Fatalf("dropped %d of %d consumed ops across %d ifetch stalls (retired %d)",
+			consumed-c.Retired, consumed, c.IFetchStall, c.Retired)
+	}
+}
+
+// The stalled op's memory access must issue once the fetch resolves: a
+// dropped op under-reports data traffic, not just retirement.
+func TestIFetchStallPreservesDataAccesses(t *testing.T) {
+	e := sim.NewEngine()
+	h := &fakeHierarchy{engine: e, ifetchMiss: true, ifetchLat: 23}
+	spec := testSpec(2, 0.5)
+	spec.MemRatio = 0.99 // nearly every op carries a data access
+	stream := workload.NewStream(spec, 0, 1, 16, 42)
+	c := New(e, 0, DefaultConfig(), stream, h)
+	c.Start()
+	e.Run(50000)
+	if c.IFetchStall == 0 {
+		t.Fatal("scenario produced no ifetch stalls")
+	}
+	// With MemRatio 0.99, ~99% of consumed ops must issue a data access.
+	// Dropping the stalled op kills its access too: the buggy path loses
+	// one per stall (~1.3% here), pushing the issued count below 98% of
+	// consumption; the fixed path stays at ~99%.
+	consumed := stream.Generated()
+	if h.dataAccess < uint64(float64(consumed)*0.98) {
+		t.Fatalf("issued %d data accesses for %d consumed ops (%.1f%%) across %d stalls",
+			h.dataAccess, consumed, 100*float64(h.dataAccess)/float64(consumed), c.IFetchStall)
+	}
+}
+
 func TestOutstandingNeverExceedsMLP(t *testing.T) {
 	e := sim.NewEngine()
 	h := &fakeHierarchy{engine: e, dataMissLat: 200}

@@ -24,3 +24,36 @@ func ThroughputSystem() *core.System {
 	sys.WarmFunctional(100_000)
 	return sys
 }
+
+// SchedulerProbeEvents is the number of events one scheduler probe run
+// schedules and dispatches.
+const SchedulerProbeEvents = 1 << 20
+
+// RunSchedulerProbe drives the given event-queue implementation through the
+// simulator's canonical event mix — a steady population of in-flight events
+// completing at vault/LLC-scale short delays, with a sprinkling of
+// far-future events that exercise the calendar queue's overflow path — and
+// returns the events executed (SchedulerProbeEvents plus the drained
+// steady-state population; callers time the call and divide). bench_test.go
+// and paperbench -bench-json share this probe so
+// BENCH_<date>.json scheduler numbers stay comparable to go test -bench
+// output.
+func RunSchedulerProbe(kind sim.SchedulerKind) uint64 {
+	e := sim.NewEngineWithScheduler(kind)
+	fn := func(uint64) {}
+	const population = 512
+	for i := 0; i < population; i++ {
+		e.ScheduleArg(sim.Cycle(i%48+1), fn, 0)
+	}
+	start := e.Executed()
+	for i := 0; i < SchedulerProbeEvents; i++ {
+		delay := sim.Cycle(i%48 + 1) // vault access scale (paper Table II: ~23)
+		if i%64 == 0 {
+			delay = sim.Cycle(i%1500 + 300) // refresh/idle-timer scale
+		}
+		e.ScheduleArg(delay, fn, uint64(i))
+		e.Step()
+	}
+	e.RunAll()
+	return e.Executed() - start
+}

@@ -7,6 +7,14 @@
 // engines share no state, so independent simulations may run concurrently
 // on separate goroutines (see the experiments runner).
 //
+// The queue behind the engine is pluggable (see SchedulerKind): the default
+// is a calendar queue — per-cycle buckets over a sliding window sized to
+// the short completion delays that dominate the simulated systems, with an
+// overflow heap for far-future events — giving O(1) amortized scheduling;
+// the previous binary heap remains available as a reference implementation.
+// Both order events identically (asserted by a randomized differential
+// test), so the choice affects performance only, never results.
+//
 // Hot-path notes: events carry either a plain func() or a func(uint64)
 // with a pre-bound argument (ScheduleArg/AtArg). The argument form lets
 // callers reuse one long-lived callback for many in-flight events instead
@@ -19,6 +27,9 @@ import "fmt"
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
 
+// maxCycle is the drain limit used when no caller bound applies.
+const maxCycle = ^Cycle(0)
+
 // event is a callback scheduled to run at a particular cycle. Exactly one
 // of fn and afn is set; afn receives arg, which lets hot callers avoid a
 // per-event closure allocation.
@@ -30,21 +41,38 @@ type event struct {
 	arg  uint64
 }
 
-// initialHeapCap pre-sizes the event heap so steady-state simulations
-// (hundreds of in-flight events across cores, caches and controllers)
-// never grow it during the measured window.
-const initialHeapCap = 1024
-
 // Engine is a discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
 	now   Cycle
 	seq   uint64
-	heap  []event
+	sched scheduler
 	nEvts uint64 // total events executed
 }
 
-// NewEngine returns an empty engine at cycle 0 with a pre-sized event heap.
-func NewEngine() *Engine { return &Engine{heap: make([]event, 0, initialHeapCap)} }
+// NewEngine returns an empty engine at cycle 0 using the default
+// calendar-queue scheduler.
+func NewEngine() *Engine { return &Engine{sched: newCalendarQueue()} }
+
+// NewEngineWithScheduler returns an empty engine using the given event
+// queue implementation. Every kind executes events in the identical
+// (cycle, insertion seq) order; non-default kinds exist for differential
+// testing and performance comparison.
+func NewEngineWithScheduler(kind SchedulerKind) *Engine {
+	return &Engine{sched: newScheduler(kind)}
+}
+
+// scheduler returns the event queue, installing the default for
+// zero-value engines.
+func (e *Engine) scheduler() scheduler {
+	if e.sched == nil {
+		e.sched = newCalendarQueue()
+	}
+	return e.sched
+}
+
+// SchedulerName reports the active event-queue implementation (for bench
+// snapshots and diagnostics).
+func (e *Engine) SchedulerName() string { return e.scheduler().name() }
 
 // Now reports the current simulation cycle.
 func (e *Engine) Now() Cycle { return e.now }
@@ -53,7 +81,7 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Executed() uint64 { return e.nEvts }
 
 // Pending reports the number of scheduled but not yet executed events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.scheduler().len() }
 
 // Schedule runs fn delay cycles from now. A delay of 0 runs fn after all
 // events already scheduled for the current cycle.
@@ -70,12 +98,12 @@ func (e *Engine) At(when Cycle, fn func()) {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	e.push(event{when: when, seq: e.seq, fn: fn})
+	e.scheduler().push(event{when: when, seq: e.seq, fn: fn})
 }
 
 // ScheduleArg runs fn(arg) delay cycles from now. Because fn is typically
 // a long-lived callback bound once per component, scheduling this way
-// performs no allocation beyond the heap slot.
+// performs no allocation beyond the queue slot.
 func (e *Engine) ScheduleArg(delay Cycle, fn func(uint64), arg uint64) {
 	e.AtArg(e.now+delay, fn, arg)
 }
@@ -90,7 +118,7 @@ func (e *Engine) AtArg(when Cycle, fn func(uint64), arg uint64) {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	e.push(event{when: when, seq: e.seq, afn: fn, arg: arg})
+	e.scheduler().push(event{when: when, seq: e.seq, afn: fn, arg: arg})
 }
 
 // dispatch advances the clock to ev and runs its callback.
@@ -107,22 +135,28 @@ func (e *Engine) dispatch(ev event) {
 // Step executes the next pending event, advancing the clock to its cycle.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	ev, ok := e.scheduler().popLE(maxCycle)
+	if !ok {
 		return false
 	}
-	e.dispatch(e.pop())
+	e.dispatch(ev)
 	return true
 }
 
 // Run executes events until the queue drains or the clock would pass limit.
 // Events scheduled exactly at limit are executed. It returns the number of
 // events executed by this call. The drain loop pops directly rather than
-// going through Step so the per-event cost is one heap pop plus the
-// callback.
+// going through Step so the per-event cost is one bounded queue pop plus
+// the callback.
 func (e *Engine) Run(limit Cycle) uint64 {
+	s := e.scheduler()
 	start := e.nEvts
-	for len(e.heap) > 0 && e.heap[0].when <= limit {
-		e.dispatch(e.pop())
+	for {
+		ev, ok := s.popLE(limit)
+		if !ok {
+			break
+		}
+		e.dispatch(ev)
 	}
 	if e.now < limit {
 		e.now = limit
@@ -132,63 +166,14 @@ func (e *Engine) Run(limit Cycle) uint64 {
 
 // RunAll executes events until the queue is drained.
 func (e *Engine) RunAll() uint64 {
+	s := e.scheduler()
 	start := e.nEvts
-	for len(e.heap) > 0 {
-		e.dispatch(e.pop())
+	for {
+		ev, ok := s.popLE(maxCycle)
+		if !ok {
+			break
+		}
+		e.dispatch(ev)
 	}
 	return e.nEvts - start
-}
-
-// push inserts ev into the binary min-heap, sifting the insertion hole up
-// instead of swapping so each level costs one copy.
-func (e *Engine) push(ev event) {
-	e.heap = append(e.heap, ev)
-	i := len(e.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(ev, e.heap[parent]) {
-			break
-		}
-		e.heap[i] = e.heap[parent]
-		i = parent
-	}
-	e.heap[i] = ev
-}
-
-// pop removes and returns the earliest event, sifting the root hole down
-// with single copies.
-func (e *Engine) pop() event {
-	top := e.heap[0]
-	last := len(e.heap) - 1
-	moved := e.heap[last]
-	e.heap[last] = event{} // release callback references
-	e.heap = e.heap[:last]
-	if last == 0 {
-		return top
-	}
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := -1
-		if l < last && less(e.heap[l], moved) {
-			smallest = l
-		}
-		if r < last && less(e.heap[r], e.heap[l]) && less(e.heap[r], moved) {
-			smallest = r
-		}
-		if smallest < 0 {
-			break
-		}
-		e.heap[i] = e.heap[smallest]
-		i = smallest
-	}
-	e.heap[i] = moved
-	return top
-}
-
-func less(a, b event) bool {
-	if a.when != b.when {
-		return a.when < b.when
-	}
-	return a.seq < b.seq
 }

@@ -192,6 +192,7 @@ type Stream struct {
 	jumped     bool // the last line transition was a taken branch
 	scanCursor int64
 	coldCursor int64
+	generated  uint64 // ops produced by Next
 }
 
 // NewStream builds the deterministic stream for one core. scale divides
@@ -241,9 +242,15 @@ func NewStream(spec Spec, core, ncores int, scale int64, seed uint64) *Stream {
 // Spec returns the stream's workload spec.
 func (s *Stream) Spec() Spec { return s.spec }
 
+// Generated reports how many ops Next has produced. The core model retires
+// every op it consumes (an op may be in flight across a frontend stall but
+// is never dropped), so tests cross-check Retired against this count.
+func (s *Stream) Generated() uint64 { return s.generated }
+
 // Next fills op with the next instruction. op is reused by callers to avoid
 // allocation in the simulation hot loop.
 func (s *Stream) Next(op *Op) {
+	s.generated++
 	*op = Op{}
 	s.nextIFetch(op)
 	if s.rng.Float64() < s.spec.MemRatio {
