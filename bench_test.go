@@ -257,6 +257,32 @@ func benchSchedulerProbe(b *testing.B, kind sim.SchedulerKind) {
 func BenchmarkSchedulerProbeCalendar(b *testing.B) { benchSchedulerProbe(b, sim.CalendarQueue) }
 func BenchmarkSchedulerProbeHeap(b *testing.B)     { benchSchedulerProbe(b, sim.BinaryHeap) }
 
+// BenchmarkArrayProbe times the cache-array fast path on the canonical L1 +
+// direct-mapped-vault access mix (experiments.RunArrayProbe; paperbench
+// -bench-json reports the same probe in BENCH_<date>.json).
+func BenchmarkArrayProbe(b *testing.B) {
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		ops += experiments.RunArrayProbe()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/access")
+}
+
+// BenchmarkCoherenceTable* time the coherence substrates' store
+// implementations on the canonical directory + snoop-filter op cycle
+// (experiments.RunCoherenceTableProbe). The open-addressed table is the
+// default; the Go map is the retained reference.
+func benchCoherenceTable(b *testing.B, kind coherence.StoreKind) {
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		ops += experiments.RunCoherenceTableProbe(kind)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/op")
+}
+
+func BenchmarkCoherenceTableOpen(b *testing.B) { benchCoherenceTable(b, coherence.OpenTable) }
+func BenchmarkCoherenceTableMap(b *testing.B)  { benchCoherenceTable(b, coherence.MapStore) }
+
 // BenchmarkDirectoryOps measures the duplicate-tag directory's hot path:
 // a read-share-write-evict cycle across 16 cores.
 func BenchmarkDirectoryOps(b *testing.B) {

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
@@ -100,14 +101,35 @@ type benchSnapshot struct {
 		HeapNsPerEvent     float64 `json:"heap_ns_per_event"`
 	} `json:"scheduler_probe"`
 
+	// ArrayProbe times the cache-array fast path on the canonical L1 +
+	// direct-mapped-vault mix (experiments.RunArrayProbe), mirroring
+	// BenchmarkArrayProbe.
+	ArrayProbe struct {
+		NsPerAccess float64 `json:"ns_per_access"`
+	} `json:"array_probe"`
+
+	// CoherenceTable compares the coherence substrates' store
+	// implementations on the canonical directory + snoop cycle
+	// (experiments.RunCoherenceTableProbe), mirroring
+	// BenchmarkCoherenceTableOpen/Map.
+	CoherenceTable struct {
+		OpenNsPerOp float64 `json:"open_ns_per_op"`
+		MapNsPerOp  float64 `json:"map_ns_per_op"`
+	} `json:"coherence_table"`
+
 	// SystemThroughput mirrors BenchmarkSystemSimulationThroughput: a
 	// warmed 16-core SILO system running Web Search, measured in 10K-cycle
-	// windows.
+	// windows over three ~1s rounds. Iters and NsPerOp describe the best
+	// round (like the probes, best-of sheds scheduling noise), so
+	// Iters*NsPerOp reconstructs that round's wall time; InstrPerIter,
+	// EventsPerSec and AllocsPerOp (the steady-state allocation guard)
+	// are computed over all rounds.
 	SystemThroughput struct {
 		Iters        int     `json:"iters"`
 		NsPerOp      float64 `json:"ns_per_op"`
 		InstrPerIter float64 `json:"instr_per_iter"`
 		EventsPerSec float64 `json:"events_per_sec"`
+		AllocsPerOp  float64 `json:"allocs_per_op"`
 	} `json:"system_throughput"`
 
 	// Fig10 is one Fig 10 suite run (5 systems x 8 workloads) through the
@@ -129,47 +151,76 @@ func writeBenchSnapshot(mode experiments.Mode) error {
 	snap.Parallelism = mode.Parallelism
 	snap.Scheduler = sim.NewEngine().SchedulerName()
 
-	// Event-queue comparison on the canonical mix (a few probe runs each,
-	// best-of to shed scheduling noise).
-	probe := func(kind sim.SchedulerKind) float64 {
+	// Per-op probe timing: best of three runs to shed scheduling noise.
+	bestOf := func(run func() uint64) float64 {
 		best := math.Inf(1)
 		for r := 0; r < 3; r++ {
 			t0 := time.Now()
-			events := experiments.RunSchedulerProbe(kind)
-			if ns := float64(time.Since(t0).Nanoseconds()) / float64(events); ns < best {
+			ops := run()
+			if ns := float64(time.Since(t0).Nanoseconds()) / float64(ops); ns < best {
 				best = ns
 			}
 		}
 		return best
 	}
-	snap.SchedulerProbe.CalendarNsPerEvent = probe(sim.CalendarQueue)
-	snap.SchedulerProbe.HeapNsPerEvent = probe(sim.BinaryHeap)
+
+	// Event-queue comparison on the canonical mix.
+	snap.SchedulerProbe.CalendarNsPerEvent = bestOf(func() uint64 {
+		return experiments.RunSchedulerProbe(sim.CalendarQueue)
+	})
+	snap.SchedulerProbe.HeapNsPerEvent = bestOf(func() uint64 {
+		return experiments.RunSchedulerProbe(sim.BinaryHeap)
+	})
+	snap.ArrayProbe.NsPerAccess = bestOf(experiments.RunArrayProbe)
+	snap.CoherenceTable.OpenNsPerOp = bestOf(func() uint64 {
+		return experiments.RunCoherenceTableProbe(coherence.OpenTable)
+	})
+	snap.CoherenceTable.MapNsPerOp = bestOf(func() uint64 {
+		return experiments.RunCoherenceTableProbe(coherence.MapStore)
+	})
 
 	// Hot-path throughput: the same warmed system and window as
-	// BenchmarkSystemSimulationThroughput.
+	// BenchmarkSystemSimulationThroughput, best of three ~1s rounds.
 	sys := experiments.ThroughputSystem()
 	const minWall = time.Second
 	var (
 		iters   int
 		retired uint64
+		memBeg  runtime.MemStats
+		memEnd  runtime.MemStats
 	)
 	evStart := sys.Engine().Executed()
-	start := time.Now()
-	for time.Since(start) < minWall {
-		m := sys.Run(0, experiments.ThroughputWindow)
-		retired += m.Retired
-		iters++
+	evWall := time.Duration(0)
+	runtime.ReadMemStats(&memBeg)
+	best := math.Inf(1)
+	bestIters := 0
+	for round := 0; round < 3; round++ {
+		roundIters := 0
+		start := time.Now()
+		for time.Since(start) < minWall {
+			m := sys.Run(0, experiments.ThroughputWindow)
+			retired += m.Retired
+			iters++
+			roundIters++
+		}
+		wall := time.Since(start)
+		evWall += wall
+		if ns := float64(wall.Nanoseconds()) / float64(roundIters); ns < best {
+			best = ns
+			bestIters = roundIters
+		}
 	}
-	wall := time.Since(start)
-	snap.SystemThroughput.Iters = iters
-	snap.SystemThroughput.NsPerOp = float64(wall.Nanoseconds()) / float64(iters)
+	runtime.ReadMemStats(&memEnd)
+	snap.SystemThroughput.Iters = bestIters
+	snap.SystemThroughput.NsPerOp = best
 	snap.SystemThroughput.InstrPerIter = float64(retired) / float64(iters)
-	snap.SystemThroughput.EventsPerSec = float64(sys.Engine().Executed()-evStart) / wall.Seconds()
+	snap.SystemThroughput.EventsPerSec = float64(sys.Engine().Executed()-evStart) / evWall.Seconds()
+	snap.SystemThroughput.AllocsPerOp = float64(memEnd.Mallocs-memBeg.Mallocs) / float64(iters)
 
 	// Fig 10 suite wall-clock through the concurrent runner.
-	start = time.Now()
+	figStart := time.Now()
 	r := experiments.Fig10(mode)
-	snap.Fig10.NsPerOp = float64(time.Since(start).Nanoseconds())
+	snap.Fig10.NsPerOp = float64(time.Since(figStart).Nanoseconds())
 	snap.Fig10.SiloGeomeanX = r.SpeedupOf("SILO")
 
 	name := fmt.Sprintf("BENCH_%s.json", snap.Date)
@@ -180,8 +231,9 @@ func writeBenchSnapshot(mode experiments.Mode) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%s: %.1f ns/event vs heap %.1f; throughput %.2fms/op, fig10 %.2fs, silo geomean %.3fx)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s (%s: %.1f ns/event vs heap %.1f; array %.1f ns/access; table %.1f vs map %.1f ns/op; throughput %.2fms/op %.1f allocs/op, fig10 %.2fs, silo geomean %.7fx)\n",
 		name, snap.Scheduler, snap.SchedulerProbe.CalendarNsPerEvent, snap.SchedulerProbe.HeapNsPerEvent,
-		snap.SystemThroughput.NsPerOp/1e6, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
+		snap.ArrayProbe.NsPerAccess, snap.CoherenceTable.OpenNsPerOp, snap.CoherenceTable.MapNsPerOp,
+		snap.SystemThroughput.NsPerOp/1e6, snap.SystemThroughput.AllocsPerOp, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
 	return nil
 }

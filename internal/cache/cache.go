@@ -5,6 +5,14 @@
 // The array is purely functional (no timing); hierarchy levels own an Array
 // and add their latency and protocol behaviour on top. This split keeps the
 // protocol logic testable without a simulation clock.
+//
+// Two API layers address the same storage. The line-addressed methods
+// (Lookup, Touch, SetState, Insert, InsertNonTemporal, Invalidate) are the
+// readable reference: each re-finds the line by tag scan. The Way-handle
+// methods (Probe, WayState, TouchWay, SetStateWay, InsertAt, DemoteWay)
+// are the fast path: one Probe per access, O(1) mutators after it. A
+// randomized differential test (differential_test.go) drives both against
+// a naive model and proves them behaviourally identical.
 package cache
 
 import (
@@ -64,22 +72,48 @@ const (
 	RandomRepl
 )
 
-// Line is one cache line's metadata.
-type Line struct {
-	Tag   uint64 // line address (full address >> log2(LineSize))
-	State State
-	used  uint64 // LRU timestamp
-}
+// Slot-word encoding: each way is one uint64 packing validity, coherence
+// state and tag —
+//
+//	bit  0     valid
+//	bits 1-3   State
+//	bits 4-63  tag (line address / LineSize)
+//
+// so a tag scan, a state read and a fill each touch exactly 8 bytes per
+// way. Recency lives in a parallel slice (see Array.used). One packed
+// word per slot (rather than a tag/state struct) is what lets a
+// direct-mapped DRAM-vault fill dirty a single cache line of a
+// multi-megabyte array.
+const (
+	slotValid     = 1
+	slotStateMask = 0b1110
+	slotTagShift  = 4
+)
+
+func packSlot(t uint64, st State) uint64 { return t<<slotTagShift | uint64(st)<<1 | slotValid }
+
+func slotState(v uint64) State { return State((v & slotStateMask) >> 1) }
+func slotTag(v uint64) uint64  { return v >> slotTagShift }
 
 // Array is a set-associative cache tag/state array.
 type Array struct {
 	sets   int
 	ways   int
 	policy Policy
-	shift  uint   // set-index shift (see NewBankedArray)
-	lines  []Line // sets*ways, set-major
+	shift  uint // set-index shift (see NewBankedArray)
 	tick   uint64
 	rndst  uint64 // xorshift state for RandomRepl
+
+	// slots holds the packed tag/state words, sets*ways, set-major;
+	// 0 marks an empty slot.
+	slots []uint64
+
+	// used holds per-slot LRU timestamps. Slots of invalid lines carry
+	// stale values harmlessly: the victim scan only runs on full sets,
+	// and placement refreshes the slot it fills. Direct-mapped arrays
+	// never read recency, so their mutators skip the write (and the
+	// dirtied cache line) entirely.
+	used []uint64
 
 	// Occupancy tracks the number of valid lines, maintained incrementally
 	// so invariant checks are O(1).
@@ -118,7 +152,8 @@ func NewArray(sizeBytes int64, ways int, policy Policy) *Array {
 		sets:   int(sets),
 		ways:   ways,
 		policy: policy,
-		lines:  make([]Line, lines),
+		slots:  make([]uint64, lines),
+		used:   make([]uint64, lines),
 		rndst:  0x9E3779B97F4A7C15,
 	}
 }
@@ -146,58 +181,98 @@ func (a *Array) set(line mem.LineAddr) int {
 	return int((tag(line) >> a.shift) & uint64(a.sets-1))
 }
 
-func (a *Array) slot(set, way int) *Line { return &a.lines[set*a.ways+way] }
+// Way is a handle to one array slot, returned by Probe. It stays valid
+// until the next mutation of the same set (Insert*, Invalidate or
+// SetState/SetStateWay to Invalid); way-indexed mutators let a call site
+// that has already probed skip every further tag scan. NoWay reports a
+// miss.
+type Way int32
+
+// NoWay is the Probe result for an absent line.
+const NoWay Way = -1
+
+// Probe finds the line with a single tag scan and returns its slot handle,
+// or NoWay when absent. It does not update recency; pair with TouchWay.
+// (Written with the tag/set helpers spelled out: the function sits on
+// every simulated access and must stay within the inlining budget.)
+func (a *Array) Probe(line mem.LineAddr) Way {
+	t := uint64(line) / mem.LineSize
+	base := int(t>>a.shift&uint64(a.sets-1)) * a.ways
+	want := t<<slotTagShift | slotValid
+	for w, v := range a.slots[base : base+a.ways] {
+		if v&^slotStateMask == want {
+			return Way(base + w)
+		}
+	}
+	return NoWay
+}
+
+// WayState returns the coherence state of the probed slot.
+func (a *Array) WayState(w Way) State { return slotState(a.slots[w]) }
+
+// TouchWay marks the probed slot most recently used. Direct-mapped arrays
+// skip the recency write: with one way the victim choice never consults
+// it, so the store would only dirty a cache line per hit.
+func (a *Array) TouchWay(w Way) {
+	if a.ways == 1 {
+		return
+	}
+	a.tick++
+	a.used[w] = a.tick
+}
+
+// SetStateWay updates the coherence state of the probed slot. Setting
+// Invalid removes the line (and invalidates every outstanding Way handle
+// for its set).
+func (a *Array) SetStateWay(w Way, st State) {
+	if st == Invalid {
+		a.occupied--
+		a.slots[w] = 0
+		return
+	}
+	a.slots[w] = a.slots[w]&^slotStateMask | uint64(st)<<1
+}
+
+// DemoteWay moves the probed slot to LRU priority (the set's preferred
+// victim), the way-indexed form of InsertNonTemporal's demotion. A no-op
+// on direct-mapped arrays, where recency is never consulted.
+func (a *Array) DemoteWay(w Way) {
+	if a.ways > 1 {
+		a.used[w] = 0
+	}
+}
 
 // Lookup finds the line and returns its state without updating recency.
 // It returns Invalid when absent.
 func (a *Array) Lookup(line mem.LineAddr) State {
-	s := a.set(line)
-	t := tag(line)
-	for w := 0; w < a.ways; w++ {
-		l := a.slot(s, w)
-		if l.State.Valid() && l.Tag == t {
-			return l.State
-		}
+	if w := a.Probe(line); w != NoWay {
+		return slotState(a.slots[w])
 	}
 	return Invalid
 }
 
 // Contains reports whether the line is present.
-func (a *Array) Contains(line mem.LineAddr) bool { return a.Lookup(line).Valid() }
+func (a *Array) Contains(line mem.LineAddr) bool { return a.Probe(line) != NoWay }
 
 // Touch marks the line most recently used, returning false when absent.
 func (a *Array) Touch(line mem.LineAddr) bool {
-	s := a.set(line)
-	t := tag(line)
-	for w := 0; w < a.ways; w++ {
-		l := a.slot(s, w)
-		if l.State.Valid() && l.Tag == t {
-			a.tick++
-			l.used = a.tick
-			return true
-		}
+	w := a.Probe(line)
+	if w == NoWay {
+		return false
 	}
-	return false
+	a.TouchWay(w)
+	return true
 }
 
 // SetState updates the coherence state of a present line, returning false
 // when absent. Setting Invalid removes the line.
 func (a *Array) SetState(line mem.LineAddr, st State) bool {
-	s := a.set(line)
-	t := tag(line)
-	for w := 0; w < a.ways; w++ {
-		l := a.slot(s, w)
-		if l.State.Valid() && l.Tag == t {
-			if st == Invalid {
-				a.occupied--
-				*l = Line{}
-				return true
-			}
-			l.State = st
-			return true
-		}
+	w := a.Probe(line)
+	if w == NoWay {
+		return false
 	}
-	return false
+	a.SetStateWay(w, st)
+	return true
 }
 
 // Eviction describes a line displaced by Insert.
@@ -216,16 +291,8 @@ func (e Eviction) Dirty() bool { return e.State.Dirty() }
 // reproduces the residency that plain LRU provides at paper scale, where
 // set lifetimes are 512x longer relative to reuse intervals.
 func (a *Array) InsertNonTemporal(line mem.LineAddr, st State) (ev Eviction, evicted bool) {
-	ev, evicted = a.Insert(line, st)
-	s := a.set(line)
-	t := tag(line)
-	for w := 0; w < a.ways; w++ {
-		l := a.slot(s, w)
-		if l.State.Valid() && l.Tag == t {
-			l.used = 0
-			break
-		}
-	}
+	w, ev, evicted := a.insert(line, st)
+	a.DemoteWay(w)
 	return ev, evicted
 }
 
@@ -235,41 +302,83 @@ func (a *Array) InsertNonTemporal(line mem.LineAddr, st State) (ev Eviction, evi
 // callers must Lookup first — double insertion always indicates a protocol
 // bug.
 func (a *Array) Insert(line mem.LineAddr, st State) (ev Eviction, evicted bool) {
+	_, ev, evicted = a.insert(line, st)
+	return ev, evicted
+}
+
+// insert is Insert returning the way filled, so InsertNonTemporal can
+// demote it without re-scanning the set.
+func (a *Array) insert(line mem.LineAddr, st State) (w Way, ev Eviction, evicted bool) {
 	if !st.Valid() {
 		panic("cache: inserting invalid state")
 	}
 	s := a.set(line)
 	t := tag(line)
+	base := s * a.ways
 	victim := -1
-	for w := 0; w < a.ways; w++ {
-		l := a.slot(s, w)
-		if l.State.Valid() && l.Tag == t {
+	for w, v := range a.slots[base : base+a.ways] {
+		if v&slotValid != 0 && slotTag(v) == t {
 			panic(fmt.Sprintf("cache: double insert of line %#x", uint64(line)))
 		}
-		if !l.State.Valid() && victim == -1 {
+		if v == 0 && victim == -1 {
 			victim = w
 		}
 	}
+	return a.place(s, victim, t, st)
+}
+
+// InsertAt is the fast-path insert for a line Probe just reported absent:
+// it fills the first invalid way (stopping the scan there) or evicts the
+// policy victim, returning the way filled for DemoteWay. Unlike Insert it
+// does not re-verify absence — calling it for a present line corrupts the
+// set, which the differential suite would surface; callers must have
+// probed the same array for the same line with no intervening mutation.
+func (a *Array) InsertAt(line mem.LineAddr, st State) (w Way, ev Eviction, evicted bool) {
+	if !st.Valid() {
+		panic("cache: inserting invalid state")
+	}
+	s := a.set(line)
+	victim := -1
+	base := s * a.ways
+	for i, v := range a.slots[base : base+a.ways] {
+		if v == 0 {
+			victim = i
+			break
+		}
+	}
+	return a.place(s, victim, tag(line), st)
+}
+
+// place fills the chosen way (or the policy victim when victim < 0) and
+// maintains occupancy, recency and the eviction report.
+func (a *Array) place(s, victim int, t uint64, st State) (w Way, ev Eviction, evicted bool) {
 	if victim == -1 {
 		victim = a.victim(s)
-		v := a.slot(s, victim)
-		ev = Eviction{Line: lineAddr(v.Tag), State: v.State}
+		v := a.slots[s*a.ways+victim]
+		ev = Eviction{Line: lineAddr(slotTag(v)), State: slotState(v)}
 		evicted = true
 		a.occupied--
 	}
-	a.tick++
-	*a.slot(s, victim) = Line{Tag: t, State: st, used: a.tick}
+	idx := s*a.ways + victim
+	a.slots[idx] = packSlot(t, st)
+	if a.ways > 1 {
+		// Direct-mapped arrays skip recency (see TouchWay): one less
+		// dirtied cache line per fill of the large vault arrays.
+		a.tick++
+		a.used[idx] = a.tick
+	}
 	a.occupied++
-	return ev, evicted
+	return Way(idx), ev, evicted
 }
 
 // victim picks the replacement way in a full set.
 func (a *Array) victim(set int) int {
 	switch a.policy {
 	case LRU:
-		best, bestUsed := 0, a.slot(set, 0).used
+		base := set * a.ways
+		best, bestUsed := 0, a.used[base]
 		for w := 1; w < a.ways; w++ {
-			if u := a.slot(set, w).used; u < bestUsed {
+			if u := a.used[base+w]; u < bestUsed {
 				best, bestUsed = w, u
 			}
 		}
@@ -287,27 +396,22 @@ func (a *Array) victim(set int) int {
 // Invalidate removes the line, returning its prior state (Invalid when it
 // was not present).
 func (a *Array) Invalidate(line mem.LineAddr) State {
-	s := a.set(line)
-	t := tag(line)
-	for w := 0; w < a.ways; w++ {
-		l := a.slot(s, w)
-		if l.State.Valid() && l.Tag == t {
-			st := l.State
-			*l = Line{}
-			a.occupied--
-			return st
-		}
+	w := a.Probe(line)
+	if w == NoWay {
+		return Invalid
 	}
-	return Invalid
+	st := slotState(a.slots[w])
+	a.slots[w] = 0
+	a.occupied--
+	return st
 }
 
 // ForEach calls fn for every valid line. Iteration order is deterministic
 // (set-major). fn must not mutate the array.
 func (a *Array) ForEach(fn func(line mem.LineAddr, st State)) {
-	for i := range a.lines {
-		l := &a.lines[i]
-		if l.State.Valid() {
-			fn(lineAddr(l.Tag), l.State)
+	for _, v := range a.slots {
+		if v&slotValid != 0 {
+			fn(lineAddr(slotTag(v)), slotState(v))
 		}
 	}
 }

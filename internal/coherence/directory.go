@@ -18,6 +18,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
@@ -58,7 +59,7 @@ type entry struct {
 type Directory struct {
 	protocol Protocol
 	cores    int
-	entries  map[mem.LineAddr]entry
+	entries  hotStore[entry]
 
 	// Stats.
 	Reads         uint64
@@ -69,19 +70,27 @@ type Directory struct {
 	MemWritebacks uint64 // protocol-induced writebacks (MESI downgrades, O/M evictions)
 }
 
-// NewDirectory builds a directory for the given core count and protocol.
+// NewDirectory builds a directory for the given core count and protocol on
+// the default open-addressed line table.
 func NewDirectory(cores int, protocol Protocol) *Directory {
+	return NewDirectoryWithStore(cores, protocol, OpenTable)
+}
+
+// NewDirectoryWithStore builds a directory on an explicit store
+// implementation; the differential test drives OpenTable against MapStore
+// to prove operation-for-operation equality.
+func NewDirectoryWithStore(cores int, protocol Protocol, kind StoreKind) *Directory {
 	if cores <= 0 || cores > 32 {
 		panic(fmt.Sprintf("coherence: core count %d outside [1,32]", cores))
 	}
-	return &Directory{protocol: protocol, cores: cores, entries: make(map[mem.LineAddr]entry)}
+	return &Directory{protocol: protocol, cores: cores, entries: newHotStore[entry](kind)}
 }
 
 // Protocol returns the configured protocol.
 func (d *Directory) Protocol() Protocol { return d.protocol }
 
 // Entries returns the number of tracked lines.
-func (d *Directory) Entries() int { return len(d.entries) }
+func (d *Directory) Entries() int { return d.entries.size() }
 
 func (d *Directory) check(core int) {
 	if core < 0 || core >= d.cores {
@@ -92,7 +101,7 @@ func (d *Directory) check(core int) {
 // StateOf reports the coherence state of the line in core's private LLC.
 func (d *Directory) StateOf(line mem.LineAddr, core int) cache.State {
 	d.check(core)
-	e, ok := d.entries[line]
+	e, ok := d.entries.get(line)
 	if !ok || e.mask&(1<<uint(core)) == 0 {
 		return cache.Invalid
 	}
@@ -102,24 +111,23 @@ func (d *Directory) StateOf(line mem.LineAddr, core int) cache.State {
 	return cache.Shared
 }
 
+// SharersMask returns the holder set of the line as a bit mask.
+func (d *Directory) SharersMask(line mem.LineAddr) uint32 {
+	e, ok := d.entries.get(line)
+	if !ok {
+		return 0
+	}
+	return e.mask
+}
+
 // Sharers returns the cores holding the line, in ascending order.
 func (d *Directory) Sharers(line mem.LineAddr) []int {
-	e, ok := d.entries[line]
-	if !ok {
-		return nil
-	}
-	var out []int
-	for c := 0; c < d.cores; c++ {
-		if e.mask&(1<<uint(c)) != 0 {
-			out = append(out, c)
-		}
-	}
-	return out
+	return maskToSlice(d.SharersMask(line))
 }
 
 // Owner returns the core holding the line in E, M or O, or -1.
 func (d *Directory) Owner(line mem.LineAddr) int {
-	e, ok := d.entries[line]
+	e, ok := d.entries.get(line)
 	if !ok {
 		return -1
 	}
@@ -145,13 +153,13 @@ func (d *Directory) Read(line mem.LineAddr, requester int) ReadOutcome {
 	d.check(requester)
 	d.Reads++
 	bit := uint32(1) << uint(requester)
-	e, ok := d.entries[line]
-	if ok && e.mask&bit != 0 {
+	e := d.entries.ref(line)
+	if e != nil && e.mask&bit != 0 {
 		panic(fmt.Sprintf("coherence: core %d read-missed line %#x it already holds", requester, uint64(line)))
 	}
-	if !ok || e.mask == 0 {
+	if e == nil {
 		// No cached copy anywhere: fill Exclusive from memory.
-		d.entries[line] = entry{mask: bit, owner: int8(requester), ownerState: cache.Exclusive}
+		d.entries.put(line, entry{mask: bit, owner: int8(requester), ownerState: cache.Exclusive})
 		return ReadOutcome{Source: MemorySource, FillState: cache.Exclusive}
 	}
 
@@ -182,11 +190,55 @@ func (d *Directory) Read(line mem.LineAddr, requester int) ReadOutcome {
 		// All copies Shared: the nearest sharer forwards. Source selection
 		// (which sharer) is a timing decision; report the lowest-numbered
 		// one and let the caller pick by distance via Sharers.
-		out.Source = firstSet(e.mask, d.cores)
+		out.Source = firstSet(e.mask)
 		d.Forwards++
 	}
 	e.mask |= bit
-	d.entries[line] = e
+	return out
+}
+
+// WriteMaskOutcome describes how a write miss or upgrade is satisfied,
+// with the invalidated cores as an allocation-free bit mask.
+type WriteMaskOutcome struct {
+	// Source is the forwarding core, MemorySource for a memory fetch, or
+	// the requester itself for an upgrade (no data transfer).
+	Source int
+	// InvalidatedMask holds the other cores whose copies were invalidated
+	// (bit c: core c); iterate with bits.TrailingZeros32.
+	InvalidatedMask uint32
+	// Upgrade is set when the requester already held the line.
+	Upgrade bool
+}
+
+// WriteMask records a write miss (or upgrade) by requester; afterwards the
+// requester holds the line in Modified and nobody else holds it. This is
+// the fast path: the steady-state store flow allocates nothing.
+func (d *Directory) WriteMask(line mem.LineAddr, requester int) WriteMaskOutcome {
+	d.check(requester)
+	d.Writes++
+	bit := uint32(1) << uint(requester)
+	e := d.entries.ref(line)
+	out := WriteMaskOutcome{Source: MemorySource}
+	if e != nil {
+		if e.mask&bit != 0 {
+			out.Upgrade = true
+			out.Source = requester
+			d.Upgrades++
+		} else if e.owner >= 0 {
+			// Dirty or exclusive peer copy: it forwards then invalidates.
+			out.Source = int(e.owner)
+			d.Forwards++
+		} else if e.mask != 0 {
+			// Clean shared copies: one forwards, all invalidate.
+			out.Source = firstSet(e.mask)
+			d.Forwards++
+		}
+		out.InvalidatedMask = e.mask &^ bit
+		d.Invalidations += uint64(bits.OnesCount32(out.InvalidatedMask))
+		*e = entry{mask: bit, owner: int8(requester), ownerState: cache.Modified}
+		return out
+	}
+	d.entries.put(line, entry{mask: bit, owner: int8(requester), ownerState: cache.Modified})
 	return out
 }
 
@@ -201,38 +253,14 @@ type WriteOutcome struct {
 	Upgrade bool
 }
 
-// Write records a write miss (or upgrade) by requester; afterwards the
-// requester holds the line in Modified and nobody else holds it.
+// Write is the slice-returning reference form of WriteMask.
 func (d *Directory) Write(line mem.LineAddr, requester int) WriteOutcome {
-	d.check(requester)
-	d.Writes++
-	bit := uint32(1) << uint(requester)
-	e, ok := d.entries[line]
-	out := WriteOutcome{Source: MemorySource}
-	if ok {
-		if e.mask&bit != 0 {
-			out.Upgrade = true
-			out.Source = requester
-			d.Upgrades++
-		} else if e.owner >= 0 {
-			// Dirty or exclusive peer copy: it forwards then invalidates.
-			out.Source = int(e.owner)
-			d.Forwards++
-		} else if e.mask != 0 {
-			// Clean shared copies: one forwards, all invalidate.
-			out.Source = firstSet(e.mask, d.cores)
-			d.Forwards++
-		}
-		for c := 0; c < d.cores; c++ {
-			cbit := uint32(1) << uint(c)
-			if c != requester && e.mask&cbit != 0 {
-				out.Invalidated = append(out.Invalidated, c)
-				d.Invalidations++
-			}
-		}
+	out := d.WriteMask(line, requester)
+	return WriteOutcome{
+		Source:      out.Source,
+		Invalidated: maskToSlice(out.InvalidatedMask),
+		Upgrade:     out.Upgrade,
 	}
-	d.entries[line] = entry{mask: bit, owner: int8(requester), ownerState: cache.Modified}
-	return out
 }
 
 // EvictOutcome describes a private-LLC eviction.
@@ -247,8 +275,8 @@ type EvictOutcome struct {
 func (d *Directory) Evict(line mem.LineAddr, core int) EvictOutcome {
 	d.check(core)
 	bit := uint32(1) << uint(core)
-	e, ok := d.entries[line]
-	if !ok || e.mask&bit == 0 {
+	e := d.entries.ref(line)
+	if e == nil || e.mask&bit == 0 {
 		panic(fmt.Sprintf("coherence: core %d evicted line %#x it does not hold", core, uint64(line)))
 	}
 	var out EvictOutcome
@@ -261,9 +289,7 @@ func (d *Directory) Evict(line mem.LineAddr, core int) EvictOutcome {
 	}
 	e.mask &^= bit
 	if e.mask == 0 {
-		delete(d.entries, line)
-	} else {
-		d.entries[line] = e
+		d.entries.del(line)
 	}
 	return out
 }
@@ -274,49 +300,53 @@ func (d *Directory) Evict(line mem.LineAddr, core int) EvictOutcome {
 // writes to Shared copies must go through Write.
 func (d *Directory) MarkDirty(line mem.LineAddr, core int) {
 	d.check(core)
-	e, ok := d.entries[line]
-	if !ok || int(e.owner) != core {
+	e := d.entries.ref(line)
+	if e == nil || int(e.owner) != core {
 		panic(fmt.Sprintf("coherence: MarkDirty by non-owner core %d on line %#x", core, uint64(line)))
 	}
 	if e.ownerState == cache.Exclusive {
 		e.ownerState = cache.Modified
-		d.entries[line] = e
 	}
 }
 
 // CheckInvariants validates the representation; tests call it after
 // randomized operation sequences. It returns an error description or "".
 func (d *Directory) CheckInvariants() string {
-	for line, e := range d.entries {
+	msg := ""
+	d.entries.forEach(func(line mem.LineAddr, e entry) {
+		if msg != "" {
+			return
+		}
 		if e.mask == 0 {
-			return fmt.Sprintf("line %#x: empty entry retained", uint64(line))
+			msg = fmt.Sprintf("line %#x: empty entry retained", uint64(line))
+			return
 		}
 		if e.owner >= 0 {
 			if e.mask&(1<<uint(e.owner)) == 0 {
-				return fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+				msg = fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+				return
 			}
 			switch e.ownerState {
 			case cache.Exclusive, cache.Modified:
 				if e.mask != 1<<uint(e.owner) {
-					return fmt.Sprintf("line %#x: %v owner with other sharers", uint64(line), e.ownerState)
+					msg = fmt.Sprintf("line %#x: %v owner with other sharers", uint64(line), e.ownerState)
 				}
 			case cache.Owned:
 				if d.protocol == MESI {
-					return fmt.Sprintf("line %#x: O state under MESI", uint64(line))
+					msg = fmt.Sprintf("line %#x: O state under MESI", uint64(line))
 				}
 			default:
-				return fmt.Sprintf("line %#x: bad owner state %v", uint64(line), e.ownerState)
+				msg = fmt.Sprintf("line %#x: bad owner state %v", uint64(line), e.ownerState)
 			}
 		}
-	}
-	return ""
+	})
+	return msg
 }
 
-func firstSet(mask uint32, cores int) int {
-	for c := 0; c < cores; c++ {
-		if mask&(1<<uint(c)) != 0 {
-			return c
-		}
+// firstSet returns the lowest-numbered core in a non-empty sharer mask.
+func firstSet(mask uint32) int {
+	if mask == 0 {
+		panic("coherence: firstSet on empty mask")
 	}
-	panic("coherence: firstSet on empty mask")
+	return bits.TrailingZeros32(mask)
 }

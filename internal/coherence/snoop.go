@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -11,9 +12,15 @@ import (
 // as the point of coherence (paper Table II: non-inclusive MESI). A dirty
 // L1 copy read by another core is forwarded and the dirty data is absorbed
 // by the LLC, not main memory.
+//
+// Sharer sets are returned as bit masks (bit c: core c) by the fast-path
+// queries — HoldersMask, WriteMask, InvalidateAllMask — which allocate
+// nothing; iterate them with bits.TrailingZeros32. The slice-returning
+// forms (Holders, Write, InvalidateAll) are thin wrappers kept for tests
+// and as the readable reference.
 type SnoopFilter struct {
 	cores   int
-	entries map[mem.LineAddr]l1entry
+	entries hotStore[l1entry]
 
 	// Stats.
 	Forwards      uint64
@@ -25,12 +32,20 @@ type l1entry struct {
 	owner int8   // L1 holding the line modified, or -1
 }
 
-// NewSnoopFilter builds a filter for up to 32 cores.
+// NewSnoopFilter builds a filter for up to 32 cores on the default
+// open-addressed line table.
 func NewSnoopFilter(cores int) *SnoopFilter {
+	return NewSnoopFilterWithStore(cores, OpenTable)
+}
+
+// NewSnoopFilterWithStore builds a filter on an explicit store
+// implementation; the differential test drives OpenTable against MapStore
+// to prove operation-for-operation equality.
+func NewSnoopFilterWithStore(cores int, kind StoreKind) *SnoopFilter {
 	if cores <= 0 || cores > 32 {
 		panic(fmt.Sprintf("coherence: core count %d outside [1,32]", cores))
 	}
-	return &SnoopFilter{cores: cores, entries: make(map[mem.LineAddr]l1entry)}
+	return &SnoopFilter{cores: cores, entries: newHotStore[l1entry](kind)}
 }
 
 func (f *SnoopFilter) check(core int) {
@@ -39,24 +54,23 @@ func (f *SnoopFilter) check(core int) {
 	}
 }
 
+// HoldersMask returns the holder set of the line as a bit mask.
+func (f *SnoopFilter) HoldersMask(line mem.LineAddr) uint32 {
+	e, ok := f.entries.get(line)
+	if !ok {
+		return 0
+	}
+	return e.mask
+}
+
 // Holders returns the cores whose L1s hold the line.
 func (f *SnoopFilter) Holders(line mem.LineAddr) []int {
-	e, ok := f.entries[line]
-	if !ok {
-		return nil
-	}
-	var out []int
-	for c := 0; c < f.cores; c++ {
-		if e.mask&(1<<uint(c)) != 0 {
-			out = append(out, c)
-		}
-	}
-	return out
+	return maskToSlice(f.HoldersMask(line))
 }
 
 // DirtyOwner returns the L1 holding the line modified, or -1.
 func (f *SnoopFilter) DirtyOwner(line mem.LineAddr) int {
-	e, ok := f.entries[line]
+	e, ok := f.entries.get(line)
 	if !ok {
 		return -1
 	}
@@ -67,57 +81,56 @@ func (f *SnoopFilter) DirtyOwner(line mem.LineAddr) int {
 // it modified, that L1 forwards and downgrades, and the LLC absorbs the
 // dirty data: the returned dirtied flag tells the LLC to mark its copy
 // modified so the data eventually reaches memory on LLC eviction.
-// entryOf fetches the tracking entry, yielding a no-owner entry when the
-// line is untracked (the zero value would alias core 0 as owner).
-func (f *SnoopFilter) entryOf(line mem.LineAddr) l1entry {
-	if e, ok := f.entries[line]; ok {
-		return e
-	}
-	return l1entry{owner: -1}
-}
-
 func (f *SnoopFilter) Read(line mem.LineAddr, core int) (forwarder int, dirtied bool) {
 	f.check(core)
-	e := f.entryOf(line)
 	forwarder = -1
-	if e.owner >= 0 && int(e.owner) != core {
-		forwarder = int(e.owner)
-		dirtied = true
-		e.owner = -1
-		f.Forwards++
+	if e := f.entries.ref(line); e != nil {
+		if e.owner >= 0 && int(e.owner) != core {
+			forwarder = int(e.owner)
+			dirtied = true
+			e.owner = -1
+			f.Forwards++
+		}
+		e.mask |= 1 << uint(core)
+		return forwarder, dirtied
 	}
-	e.mask |= 1 << uint(core)
-	f.entries[line] = e
+	f.entries.put(line, l1entry{mask: 1 << uint(core), owner: -1})
 	return forwarder, dirtied
 }
 
-// Write records core's L1 fetching the line for writing: every other L1
-// copy is invalidated and core becomes the dirty owner. If a previous dirty
-// owner existed it forwards (dirtied tells the LLC to absorb the data).
-func (f *SnoopFilter) Write(line mem.LineAddr, core int) (invalidated []int, dirtied bool) {
+// WriteMask records core's L1 fetching the line for writing: every other
+// L1 copy is invalidated and core becomes the dirty owner. If a previous
+// dirty owner existed it forwards (dirtied tells the LLC to absorb the
+// data). The invalidated cores are returned as a mask; the steady-state
+// store path allocates nothing (asserted by TestSnoopSteadyStateAllocFree).
+func (f *SnoopFilter) WriteMask(line mem.LineAddr, core int) (invalidated uint32, dirtied bool) {
 	f.check(core)
-	e := f.entryOf(line)
-	if e.owner >= 0 && int(e.owner) != core {
-		dirtied = true
-		f.Forwards++
-	}
-	for c := 0; c < f.cores; c++ {
-		bit := uint32(1) << uint(c)
-		if c != core && e.mask&bit != 0 {
-			invalidated = append(invalidated, c)
-			f.Invalidations++
+	if e := f.entries.ref(line); e != nil {
+		if e.owner >= 0 && int(e.owner) != core {
+			dirtied = true
+			f.Forwards++
 		}
+		invalidated = e.mask &^ (1 << uint(core))
+		f.Invalidations += uint64(bits.OnesCount32(invalidated))
+		*e = l1entry{mask: 1 << uint(core), owner: int8(core)}
+		return invalidated, dirtied
 	}
-	f.entries[line] = l1entry{mask: 1 << uint(core), owner: int8(core)}
+	f.entries.put(line, l1entry{mask: 1 << uint(core), owner: int8(core)})
 	return invalidated, dirtied
+}
+
+// Write is the slice-returning reference form of WriteMask.
+func (f *SnoopFilter) Write(line mem.LineAddr, core int) (invalidated []int, dirtied bool) {
+	mask, dirtied := f.WriteMask(line, core)
+	return maskToSlice(mask), dirtied
 }
 
 // Evict records core's L1 dropping the line. dirty reports whether the
 // eviction carries data that the LLC must absorb.
 func (f *SnoopFilter) Evict(line mem.LineAddr, core int, dirty bool) {
 	f.check(core)
-	e, ok := f.entries[line]
-	if !ok || e.mask&(1<<uint(core)) == 0 {
+	e := f.entries.ref(line)
+	if e == nil || e.mask&(1<<uint(core)) == 0 {
 		// The LLC may have silently dropped tracking (non-inclusive); an
 		// unknown eviction is legal and ignored.
 		return
@@ -127,50 +140,72 @@ func (f *SnoopFilter) Evict(line mem.LineAddr, core int, dirty bool) {
 	}
 	e.mask &^= 1 << uint(core)
 	if e.mask == 0 {
-		delete(f.entries, line)
-	} else {
-		f.entries[line] = e
+		f.entries.del(line)
 	}
 	_ = dirty // data movement is the LLC's concern; tracking only here
 }
 
-// InvalidateAll drops every L1 copy of the line (used when the shared LLC
-// evicts a line in an inclusive configuration) and returns the cores that
-// lost their copy.
+// InvalidateAllMask drops every L1 copy of the line (used when the shared
+// LLC evicts a line in an inclusive configuration) and returns the mask of
+// cores that lost their copy.
+func (f *SnoopFilter) InvalidateAllMask(line mem.LineAddr) uint32 {
+	mask := f.HoldersMask(line)
+	f.Invalidations += uint64(bits.OnesCount32(mask))
+	f.entries.del(line)
+	return mask
+}
+
+// InvalidateAll is the slice-returning reference form of InvalidateAllMask.
 func (f *SnoopFilter) InvalidateAll(line mem.LineAddr) []int {
-	holders := f.Holders(line)
-	f.Invalidations += uint64(len(holders))
-	delete(f.entries, line)
-	return holders
+	return maskToSlice(f.InvalidateAllMask(line))
 }
 
 // Entries returns the number of tracked lines.
-func (f *SnoopFilter) Entries() int { return len(f.entries) }
+func (f *SnoopFilter) Entries() int { return f.entries.size() }
 
 // ForEachEntry calls fn for every tracked line with its holder mask (bit c
 // set: core c's private caches hold the line) and dirty owner (-1 when
 // clean). Iteration order is unspecified; fn must not mutate the filter.
 // Hierarchies use it to cross-check tracking against actual cache contents.
 func (f *SnoopFilter) ForEachEntry(fn func(line mem.LineAddr, mask uint32, owner int)) {
-	for line, e := range f.entries {
+	f.entries.forEach(func(line mem.LineAddr, e l1entry) {
 		fn(line, e.mask, int(e.owner))
-	}
+	})
 }
 
 // CheckInvariants validates the representation, returning "" when healthy.
 func (f *SnoopFilter) CheckInvariants() string {
-	for line, e := range f.entries {
+	msg := ""
+	f.entries.forEach(func(line mem.LineAddr, e l1entry) {
+		if msg != "" {
+			return
+		}
 		if e.mask == 0 {
-			return fmt.Sprintf("line %#x: empty entry retained", uint64(line))
+			msg = fmt.Sprintf("line %#x: empty entry retained", uint64(line))
+			return
 		}
 		if e.owner >= 0 {
 			if e.mask&(1<<uint(e.owner)) == 0 {
-				return fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+				msg = fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+				return
 			}
 			if e.mask != 1<<uint(e.owner) {
-				return fmt.Sprintf("line %#x: dirty owner with other sharers", uint64(line))
+				msg = fmt.Sprintf("line %#x: dirty owner with other sharers", uint64(line))
 			}
 		}
+	})
+	return msg
+}
+
+// maskToSlice expands a sharer mask to an ascending core slice (nil when
+// empty), matching the historical slice-API ordering.
+func maskToSlice(mask uint32) []int {
+	if mask == 0 {
+		return nil
 	}
-	return ""
+	out := make([]int, 0, bits.OnesCount32(mask))
+	for m := mask; m != 0; m &= m - 1 {
+		out = append(out, bits.TrailingZeros32(m))
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -32,6 +33,17 @@ type privateHierarchy struct {
 	vaultArr []*cache.Array // per-core private LLC contents
 	vaults   []*vault.Vault // per-core vault timing
 	dir      *coherence.Directory
+
+	// moesi enables the L1-D ownership cache (see markL1Writable): under
+	// MOESI an owned line stays owned until an invalidation or inclusion
+	// victim removes the L1 copy, so repeated store hits can skip the
+	// directory permission check. MESI downgrades M->S on a remote read
+	// without touching the owner's L1, so the cache would go stale there.
+	moesi bool
+
+	// homeDiv is the precomputed reciprocal of the core count for homeOf
+	// (one fastmod instead of a hardware divide per directory consult).
+	homeDiv sim.Divisor
 }
 
 func newPrivateHierarchy(sys *System) *privateHierarchy {
@@ -43,6 +55,8 @@ func newPrivateHierarchy(sys *System) *privateHierarchy {
 		vaultArr: make([]*cache.Array, cfg.Cores),
 		vaults:   make([]*vault.Vault, cfg.Cores),
 		dir:      coherence.NewDirectory(cfg.Cores, cfg.Protocol),
+		moesi:    cfg.Protocol == coherence.MOESI,
+		homeDiv:  sim.NewDivisor(uint64(cfg.Cores)),
 	}
 	per := scaledPow2(cfg.VaultCapacity, cfg.Scale)
 	l1 := scaledL1(cfg.L1Size, cfg.Scale)
@@ -66,7 +80,7 @@ func (h *privateHierarchy) stats() Stats { return h.st }
 // homeOf address-interleaves directory homes across the vaults (paper
 // Sec. V-B: physically distributed, address-interleaved directory).
 func (h *privateHierarchy) homeOf(line mem.LineAddr) int {
-	return int((uint64(line) / mem.LineSize) % uint64(h.sys.cfg.Cores))
+	return int(h.homeDiv.Mod(uint64(line) / mem.LineSize))
 }
 
 // dirLatency is the cost of consulting the directory metadata at the home
@@ -86,8 +100,8 @@ func (h *privateHierarchy) dirLatency(core, home int, line mem.LineAddr, timing 
 }
 
 func (h *privateHierarchy) ifetch(core int, line mem.LineAddr, jump, timing bool) (sim.Cycle, bool) {
-	if h.l1i[core].Contains(line) {
-		h.l1i[core].Touch(line)
+	if w := h.l1i[core].Probe(line); w != cache.NoWay {
+		h.l1i[core].TouchWay(w)
 		return 0, true
 	}
 	if !jump {
@@ -103,39 +117,51 @@ func (h *privateHierarchy) fillIFetch(core int, line mem.LineAddr, timing bool) 
 	if h.l2 != nil {
 		h.insertL2(core, line)
 	}
-	if !h.l1i[core].Contains(line) {
-		ev, evicted := h.l1i[core].Insert(line, cache.Shared)
-		_ = ev
-		_ = evicted // L1 evictions are silent; dirtiness lives at vault level
-	}
+	// Both ifetch callers reach here straight after an L1-I probe miss,
+	// and the vault fill can only back-invalidate a *victim* line, so the
+	// fetched line is still absent. L1 evictions are silent; dirtiness
+	// lives at vault level.
+	h.l1i[core].InsertAt(line, cache.Shared)
 	return lat
 }
 
 func (h *privateHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemporal, timing bool) (sim.Cycle, bool) {
 	line := addr.Line()
 
-	if h.l1d[core].Contains(line) {
-		h.l1d[core].Touch(line)
+	if w := h.l1d[core].Probe(line); w != cache.NoWay {
+		h.l1d[core].TouchWay(w)
 		if !write {
+			return 0, true
+		}
+		if h.l1d[core].WayState(w) == cache.Modified {
+			// Cached ownership: the line was stored to before and the L1
+			// copy survived, so the vault still owns it (MOESI; see the
+			// moesi field). Skips the directory permission check, which
+			// has no side effects on this branch.
 			return 0, true
 		}
 		// Store: writable when the vault holds the line in E, M or O.
 		switch h.dir.StateOf(line, core) {
 		case cache.Modified, cache.Owned:
+			h.markL1Writable(core, w)
 			return 0, true
 		case cache.Exclusive:
 			h.dir.MarkDirty(line, core)
+			h.markL1Writable(core, w)
 			return 0, true
 		default:
 			// Shared (or lost to eviction): upgrade through the directory.
+			// An L1 hit implies the vault holds the line (inclusion), so
+			// the upgrade never refills the vault and w stays valid.
 			lat := h.writeVaultPath(core, line, rwShared, timing)
+			h.markL1Writable(core, w)
 			return lat, false
 		}
 	}
 
-	if h.l2 != nil && h.l2[core].Contains(line) {
-		h.l2[core].Touch(line)
-		h.fillL1D(core, line)
+	if w := probeL2(h.l2, core, line); w != cache.NoWay {
+		h.l2[core].TouchWay(w)
+		l1w := h.fillL1D(core, line)
 		lat := h.sys.cfg.L2Latency
 		if !timing {
 			lat = 0
@@ -148,6 +174,7 @@ func (h *privateHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTem
 			default:
 				lat += h.writeVaultPath(core, line, rwShared, timing)
 			}
+			h.markL1Writable(core, l1w)
 		}
 		return lat, false
 	}
@@ -171,8 +198,23 @@ func (h *privateHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTem
 	if h.l2 != nil {
 		h.insertL2(core, line)
 	}
-	h.fillL1D(core, line)
+	l1w := h.fillL1D(core, line)
+	if write {
+		h.markL1Writable(core, l1w)
+	}
 	return lat, false
+}
+
+// markL1Writable caches vault-level ownership in the L1-D line state after
+// a store settles: every path that reaches it leaves the directory state
+// M or O for this core, so under MOESI the Modified mark stays truthful
+// until an invalidation or inclusion victim removes the L1 copy. The mark
+// is a pure lookup accelerator — no stat or result depends on it — and is
+// disabled under MESI, where a remote read downgrades the owner silently.
+func (h *privateHierarchy) markL1Writable(core int, w cache.Way) {
+	if h.moesi {
+		h.l1d[core].SetStateWay(w, cache.Modified)
+	}
 }
 
 // localWriteHit services a store whose line is owned by the local vault:
@@ -193,6 +235,29 @@ func (h *privateHierarchy) localWriteHit(core int, line mem.LineAddr, rwShared, 
 	return h.vaults[core].Access(line)
 }
 
+// fillVaultAt installs a line its vault Probe just missed, maintaining
+// inclusion (back-invalidating the victim from the upper levels) and the
+// directory (evictions notify the home; dirty victims write back).
+func (h *privateHierarchy) fillVaultAt(core int, line mem.LineAddr, timing bool) {
+	_, ev, evicted := h.vaultArr[core].InsertAt(line, cache.Shared)
+	if !evicted {
+		return
+	}
+	// Inclusion: the victim leaves every private level.
+	h.l1d[core].Invalidate(ev.Line)
+	h.l1i[core].Invalidate(ev.Line)
+	if h.l2 != nil {
+		h.l2[core].Invalidate(ev.Line)
+	}
+	out := h.dir.Evict(ev.Line, core)
+	if out.MemWriteback {
+		h.st.MemWritebacks++
+		if timing {
+			h.sys.mainMem.Writeback(ev.Line)
+		}
+	}
+}
+
 // readVaultPath is the SILO read flow: local vault, then directory, then
 // remote owner or memory.
 func (h *privateHierarchy) readVaultPath(core int, line mem.LineAddr, rwShared, timing bool) sim.Cycle {
@@ -201,14 +266,14 @@ func (h *privateHierarchy) readVaultPath(core int, line mem.LineAddr, rwShared, 
 	h.st.LLCAccesses++
 	h.st.Reads++
 
-	local := h.vaultArr[core].Contains(line)
+	w := h.vaultArr[core].Probe(line)
 	var lat sim.Cycle
-	if local {
+	if w != cache.NoWay {
 		if timing {
 			lat = h.vaults[core].Access(line)
 			h.st.VaultAccesses++
 		}
-		h.vaultArr[core].Touch(line)
+		h.vaultArr[core].TouchWay(w)
 		h.st.LocalHits++
 		return lat
 	}
@@ -248,7 +313,7 @@ func (h *privateHierarchy) readVaultPath(core int, line mem.LineAddr, rwShared, 
 		h.vaultArr[out.Source].Touch(line)
 	}
 
-	h.fillVault(core, line, timing)
+	h.fillVaultAt(core, line, timing)
 	return lat
 }
 
@@ -264,7 +329,8 @@ func (h *privateHierarchy) writeVaultPath(core int, line mem.LineAddr, rwShared,
 		h.st.WritesPrivate++
 	}
 
-	local := h.vaultArr[core].Contains(line)
+	w := h.vaultArr[core].Probe(line)
+	local := w != cache.NoWay
 	var lat sim.Cycle
 	if timing && !local && !cfg.LocalMissPredictor {
 		// Miss discovered by the TAD read.
@@ -279,11 +345,12 @@ func (h *privateHierarchy) writeVaultPath(core int, line mem.LineAddr, rwShared,
 	home := h.homeOf(line)
 	lat += h.dirLatency(core, home, line, timing)
 
-	out := h.dir.Write(line, core)
-	if len(out.Invalidated) > 0 {
-		h.st.Invalidations += uint64(len(out.Invalidated))
+	out := h.dir.WriteMask(line, core)
+	if out.InvalidatedMask != 0 {
+		h.st.Invalidations += uint64(bits.OnesCount32(out.InvalidatedMask))
 		far := sim.Cycle(0)
-		for _, c := range out.Invalidated {
+		for m := out.InvalidatedMask; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros32(m)
 			h.vaultArr[c].Invalidate(line)
 			h.l1d[c].Invalidate(line)
 			h.l1i[c].Invalidate(line)
@@ -301,68 +368,45 @@ func (h *privateHierarchy) writeVaultPath(core int, line mem.LineAddr, rwShared,
 
 	switch {
 	case out.Upgrade:
+		// Upgrades only happen on lines the vault already holds Shared
+		// (duplicate-tag mirror), and peer invalidations never touch the
+		// requester's set, so the probed way is still valid.
 		h.st.Upgrades++
 		h.st.LocalHits++
-		h.vaultArr[core].Touch(line)
+		h.vaultArr[core].TouchWay(w)
 	case out.Source == coherence.MemorySource:
 		h.st.Misses++
 		h.st.MemAccesses++
 		if timing {
 			lat += h.sys.mainMem.Access(line) + h.sys.mesh.Latency(home, core)
 		}
-		h.fillVault(core, line, timing)
+		h.fillVaultAt(core, line, timing)
 	default:
 		h.st.RemoteHits++
 		h.st.Forwards++
 		if timing {
 			lat += h.sys.mesh.Latency(home, out.Source) + h.sys.mesh.Latency(out.Source, core)
 		}
-		h.fillVault(core, line, timing)
+		h.fillVaultAt(core, line, timing)
 	}
 	return lat
 }
 
-// fillVault installs a line into the core's private vault, maintaining
-// inclusion (back-invalidating the victim from the upper levels) and the
-// directory (evictions notify the home; dirty victims write back).
-func (h *privateHierarchy) fillVault(core int, line mem.LineAddr, timing bool) {
-	if h.vaultArr[core].Contains(line) {
-		h.vaultArr[core].Touch(line)
-		return
-	}
-	ev, evicted := h.vaultArr[core].Insert(line, cache.Shared)
-	if !evicted {
-		return
-	}
-	// Inclusion: the victim leaves every private level.
-	h.l1d[core].Invalidate(ev.Line)
-	h.l1i[core].Invalidate(ev.Line)
-	if h.l2 != nil {
-		h.l2[core].Invalidate(ev.Line)
-	}
-	out := h.dir.Evict(ev.Line, core)
-	if out.MemWriteback {
-		h.st.MemWritebacks++
-		if timing {
-			h.sys.mainMem.Writeback(ev.Line)
-		}
-	}
-}
-
-func (h *privateHierarchy) fillL1D(core int, line mem.LineAddr) {
-	if h.l1d[core].Contains(line) {
-		h.l1d[core].Touch(line)
-		return
-	}
-	h.l1d[core].Insert(line, cache.Shared)
+// fillL1D installs a line into the L1-D and returns its way. Every caller
+// sits on a path where the L1-D probe at the top of data() missed and no
+// intervening step can have inserted the line (vault fills only
+// back-invalidate victims), so the insert skips the duplicate scan.
+func (h *privateHierarchy) fillL1D(core int, line mem.LineAddr) cache.Way {
+	w, _, _ := h.l1d[core].InsertAt(line, cache.Shared)
+	return w
 }
 
 func (h *privateHierarchy) insertL2(core int, line mem.LineAddr) {
-	if h.l2[core].Contains(line) {
-		h.l2[core].Touch(line)
+	if w := h.l2[core].Probe(line); w != cache.NoWay {
+		h.l2[core].TouchWay(w)
 		return
 	}
-	h.l2[core].Insert(line, cache.Shared)
+	h.l2[core].InsertAt(line, cache.Shared)
 }
 
 // check validates the duplicate-tag invariant: the directory's view of each
@@ -382,10 +426,23 @@ func (h *privateHierarchy) check() string {
 		if bad != "" {
 			return bad
 		}
-		// Inclusion: every L1-D line is in the vault.
-		h.l1d[c].ForEach(func(line mem.LineAddr, _ cache.State) {
-			if bad == "" && !h.vaultArr[c].Contains(line) {
+		// Inclusion: every L1-D line is in the vault. The ownership cache
+		// (markL1Writable) additionally requires that an L1-D line marked
+		// Modified is still owned at the vault level — a stale mark would
+		// let a store skip its directory upgrade silently.
+		h.l1d[c].ForEach(func(line mem.LineAddr, st cache.State) {
+			if bad != "" {
+				return
+			}
+			if !h.vaultArr[c].Contains(line) {
 				bad = fmt.Sprintf("core %d L1D holds %#x outside its vault (inclusion broken)", c, uint64(line))
+				return
+			}
+			if st == cache.Modified {
+				if ds := h.dir.StateOf(line, c); ds != cache.Modified && ds != cache.Owned {
+					bad = fmt.Sprintf("core %d L1D marks %#x writable but directory state is %v (stale ownership cache)",
+						c, uint64(line), ds)
+				}
 			}
 		})
 		if bad != "" {

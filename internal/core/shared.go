@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -79,6 +80,15 @@ func newSharedHierarchy(sys *System) *sharedHierarchy {
 
 func (h *sharedHierarchy) stats() Stats { return h.st }
 
+// probeL2 probes an optional-L2 level, reporting a miss when the level is
+// absent. Shared by both hierarchies' data paths.
+func probeL2(l2 []*cache.Array, core int, line mem.LineAddr) cache.Way {
+	if l2 == nil {
+		return cache.NoWay
+	}
+	return l2[core].Probe(line)
+}
+
 // bankOf address-interleaves lines across the LLC banks.
 func (h *sharedHierarchy) bankOf(line mem.LineAddr) int {
 	return cache.BankSelect(line, len(h.banks))
@@ -104,8 +114,8 @@ func (h *sharedHierarchy) llcLatency(core, bank int, line mem.LineAddr, timing b
 // ifetch: instruction lines are read-only and never tracked by the snoop
 // filter (no store ever targets the code region).
 func (h *sharedHierarchy) ifetch(core int, line mem.LineAddr, jump, timing bool) (sim.Cycle, bool) {
-	if h.l1i[core].Contains(line) {
-		h.l1i[core].Touch(line)
+	if w := h.l1i[core].Probe(line); w != cache.NoWay {
+		h.l1i[core].TouchWay(w)
 		return 0, true
 	}
 	if !jump {
@@ -125,8 +135,8 @@ func (h *sharedHierarchy) fillIFetch(core int, line mem.LineAddr, timing bool) s
 	h.st.LLCAccesses++
 	h.st.Reads++
 	lat := h.llcLatency(core, bank, line, timing)
-	if h.banks[bank].Contains(line) {
-		h.banks[bank].Touch(line)
+	if w := h.banks[bank].Probe(line); w != cache.NoWay {
+		h.banks[bank].TouchWay(w)
 		h.st.LocalHits++
 	} else {
 		h.st.Misses++
@@ -135,7 +145,8 @@ func (h *sharedHierarchy) fillIFetch(core int, line mem.LineAddr, timing bool) s
 	if h.l2 != nil {
 		h.insertL2(core, line)
 	}
-	h.l1i[core].Insert(line, cache.Shared)
+	// fillIFetch is reached only after the L1-I probe in ifetch missed.
+	h.l1i[core].InsertAt(line, cache.Shared)
 	return lat
 }
 
@@ -144,8 +155,8 @@ func (h *sharedHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemp
 	line := addr.Line()
 	cfg := h.sys.cfg
 
-	if h.l1d[core].Contains(line) {
-		h.l1d[core].Touch(line)
+	if w := h.l1d[core].Probe(line); w != cache.NoWay {
+		h.l1d[core].TouchWay(w)
 		if !write {
 			return 0, true
 		}
@@ -157,12 +168,16 @@ func (h *sharedHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemp
 		return h.writeTransaction(core, line, rwShared, nonTemporal, timing), false
 	}
 
-	// Optional private L2. The L1 fill goes through fillPrivate (as the
-	// LLC paths do) so the displaced victim's snoop tracking is released:
-	// a bare insert here left the filter believing the victim's old owner
-	// still held it, producing spurious forwards and invalidations.
-	if h.l2 != nil && h.l2[core].Contains(line) {
-		h.fillPrivate(core, line)
+	// Optional private L2. The L1 fill releases the displaced victim's
+	// snoop tracking (as fillPrivate does for the LLC paths): a bare
+	// insert here left the filter believing the victim's old owner still
+	// held it, producing spurious forwards and invalidations.
+	if w := probeL2(h.l2, core, line); w != cache.NoWay {
+		h.l2[core].TouchWay(w)
+		_, ev, evicted := h.l1d[core].InsertAt(line, cache.Shared)
+		if evicted {
+			h.evictPrivate(core, ev.Line)
+		}
 		if write {
 			if h.snoop.DirtyOwner(line) == core {
 				return cfg.L2Latency, false
@@ -202,10 +217,10 @@ func (h *sharedHierarchy) readTransaction(core int, line mem.LineAddr, rwShared,
 		h.st.Forwards++
 	}
 
-	if h.banks[bank].Contains(line) {
-		h.banks[bank].Touch(line)
+	if w := h.banks[bank].Probe(line); w != cache.NoWay {
+		h.banks[bank].TouchWay(w)
 		if dirtied {
-			h.banks[bank].SetState(line, cache.Modified)
+			h.banks[bank].SetStateWay(w, cache.Modified)
 		}
 		h.st.LocalHits++
 	} else {
@@ -234,11 +249,12 @@ func (h *sharedHierarchy) writeTransaction(core int, line mem.LineAddr, rwShared
 	}
 	lat := h.llcLatency(core, bank, line, timing)
 
-	invalidated, _ := h.snoop.Write(line, core)
-	if len(invalidated) > 0 {
-		h.st.Invalidations += uint64(len(invalidated))
+	invalidated, _ := h.snoop.WriteMask(line, core)
+	if invalidated != 0 {
+		h.st.Invalidations += uint64(bits.OnesCount32(invalidated))
 		far := sim.Cycle(0)
-		for _, c := range invalidated {
+		for m := invalidated; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros32(m)
 			h.invalidatePrivate(c, line)
 			if timing {
 				if rt := h.sys.mesh.RoundTrip(bank, c); rt > far {
@@ -249,9 +265,9 @@ func (h *sharedHierarchy) writeTransaction(core int, line mem.LineAddr, rwShared
 		lat += far
 	}
 
-	if h.banks[bank].Contains(line) {
-		h.banks[bank].Touch(line)
-		h.banks[bank].SetState(line, cache.Modified)
+	if w := h.banks[bank].Probe(line); w != cache.NoWay {
+		h.banks[bank].TouchWay(w)
+		h.banks[bank].SetStateWay(w, cache.Modified)
 		h.st.LocalHits++
 	} else {
 		h.st.Misses++
@@ -289,12 +305,11 @@ func (h *sharedHierarchy) fillLLC(bank int, line mem.LineAddr, st cache.State, n
 			lat = h.sys.mainMem.Access(line)
 		}
 	}
-	var ev cache.Eviction
-	var evicted bool
+	// Every caller reaches here straight after a Probe miss on this bank,
+	// so the fast-path insert may skip the duplicate scan.
+	w, ev, evicted := h.banks[bank].InsertAt(line, st)
 	if nonTemporal {
-		ev, evicted = h.banks[bank].InsertNonTemporal(line, st)
-	} else {
-		ev, evicted = h.banks[bank].Insert(line, st)
+		h.banks[bank].DemoteWay(w)
 	}
 	if evicted && ev.Dirty() {
 		h.st.MemWritebacks++
@@ -306,12 +321,14 @@ func (h *sharedHierarchy) fillLLC(bank int, line mem.LineAddr, st cache.State, n
 }
 
 // fillPrivate installs a line into the core's L1-D (and L2), updating the
-// snoop filter for the displaced victim.
+// snoop filter for the displaced victim. Callers reach it only after the
+// L1-D probe at the top of data() missed, so the insert skips the
+// duplicate scan.
 func (h *sharedHierarchy) fillPrivate(core int, line mem.LineAddr) {
 	if h.l2 != nil {
 		h.insertL2(core, line)
 	}
-	ev, evicted := h.l1d[core].Insert(line, cache.Shared)
+	_, ev, evicted := h.l1d[core].InsertAt(line, cache.Shared)
 	if evicted {
 		h.evictPrivate(core, ev.Line)
 	}
@@ -320,11 +337,11 @@ func (h *sharedHierarchy) fillPrivate(core int, line mem.LineAddr) {
 // insertL2 installs a line into the core's L2, releasing the victim's
 // snoop tracking when it is in neither L1 nor L2 afterwards.
 func (h *sharedHierarchy) insertL2(core int, line mem.LineAddr) {
-	if h.l2[core].Contains(line) {
-		h.l2[core].Touch(line)
+	if w := h.l2[core].Probe(line); w != cache.NoWay {
+		h.l2[core].TouchWay(w)
 		return
 	}
-	ev, evicted := h.l2[core].Insert(line, cache.Shared)
+	_, ev, evicted := h.l2[core].InsertAt(line, cache.Shared)
 	if evicted {
 		h.evictPrivate(core, ev.Line)
 	}

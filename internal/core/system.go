@@ -82,7 +82,7 @@ func NewSystem(cfg Config, specs []workload.Spec) *System {
 	s.cores = make([]*cpu.Core, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
 		s.streams[c] = workload.NewStream(perCore[c], c, cfg.Cores, cfg.Scale, cfg.Seed)
-		s.cores[c] = cpu.New(engine, c, cpu.DefaultConfig(), s.streams[c], &coreAdapter{sys: s, core: c})
+		s.cores[c] = cpu.New(engine, c, cpu.DefaultConfig(), s.streams[c], &coreAdapter{hier: s.hier, core: c})
 	}
 	return s
 }
@@ -96,20 +96,22 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 // coreAdapter implements cpu.Hierarchy over the system hierarchy. It only
 // translates latencies: completion scheduling lives in the core, which
 // reuses pre-bound callbacks, so a timed access allocates nothing here.
+// The hierarchy is captured directly (not reached through the System) so
+// each access pays one interface dispatch, not a pointer chase plus one.
 type coreAdapter struct {
-	sys  *System
+	hier hierarchy
 	core int
 }
 
 var _ cpu.Hierarchy = (*coreAdapter)(nil)
 
 func (a *coreAdapter) IFetch(core int, line mem.LineAddr, jump bool) (sim.Cycle, bool) {
-	lat, hit := a.sys.hier.ifetch(core, line, jump, true)
+	lat, hit := a.hier.ifetch(core, line, jump, true)
 	return lat, hit && lat == 0
 }
 
 func (a *coreAdapter) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool) (sim.Cycle, bool) {
-	lat, hit := a.sys.hier.data(core, addr, write, rwShared, nonTemporal, true)
+	lat, hit := a.hier.data(core, addr, write, rwShared, nonTemporal, true)
 	return lat, hit && lat == 0
 }
 

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -56,4 +59,80 @@ func RunSchedulerProbe(kind sim.SchedulerKind) uint64 {
 	}
 	e.RunAll()
 	return e.Executed() - start
+}
+
+// ArrayProbeOps is the number of cache-array accesses one array probe run
+// performs.
+const ArrayProbeOps = 1 << 20
+
+// RunArrayProbe drives cache.Array through the simulator's canonical
+// access mix — a hot L1-shaped array (mostly hits: probe + touch) and a
+// large direct-mapped vault-shaped array (the SILO LLC slice: probe, then
+// fill on miss) — and returns the accesses performed. bench_test.go
+// (BenchmarkArrayProbe) and paperbench -bench-json share this probe so
+// BENCH_<date>.json array numbers stay comparable to go test -bench
+// output.
+func RunArrayProbe() uint64 {
+	l1 := cache.NewArray(2<<10, 8, cache.LRU)    // scaled L1 shape
+	vault := cache.NewArray(8<<20, 1, cache.LRU) // scaled 256MB vault at Scale 32
+	rng := sim.NewRNG(0x5EED)
+	l1Lines := uint64(l1.SizeBytes()/mem.LineSize) * 2 // 2x capacity: conflicts
+	vaultLines := uint64(vault.SizeBytes()/mem.LineSize) * 2
+	for i := 0; i < ArrayProbeOps; i++ {
+		if i%4 != 0 {
+			// L1 traffic: hit-dominated probe+touch, insert on miss.
+			line := mem.LineAddr(rng.Uint64n(l1Lines) * mem.LineSize)
+			if w := l1.Probe(line); w != cache.NoWay {
+				l1.TouchWay(w)
+			} else {
+				l1.InsertAt(line, cache.Shared)
+			}
+		} else {
+			// Vault traffic: direct-mapped probe, streaming fills demoted.
+			line := mem.LineAddr(rng.Uint64n(vaultLines) * mem.LineSize)
+			if w := vault.Probe(line); w != cache.NoWay {
+				vault.TouchWay(w)
+			} else {
+				w, _, _ := vault.InsertAt(line, cache.Shared)
+				if i%16 == 0 {
+					vault.DemoteWay(w)
+				}
+			}
+		}
+	}
+	return ArrayProbeOps
+}
+
+// CoherenceTableOps is the number of coherence operations one table probe
+// run performs.
+const CoherenceTableOps = 1 << 20
+
+// RunCoherenceTableProbe drives both coherence substrates — the MOESI
+// directory and the MESI snoop filter — through a read/share/write/evict
+// cycle over a line population large enough to exercise the store's
+// growth and deletion paths, on the given store implementation. Returns
+// the operations performed; bench_test.go (BenchmarkCoherenceTable*) and
+// paperbench -bench-json share it.
+func RunCoherenceTableProbe(kind coherence.StoreKind) uint64 {
+	const cores = 16
+	const lines = 1 << 16
+	dir := coherence.NewDirectoryWithStore(cores, coherence.MOESI, kind)
+	snoop := coherence.NewSnoopFilterWithStore(cores, kind)
+	// 7 store-touching operations per iteration: the StateOf guard always
+	// probes, and the guarded Read always fires in steady state because
+	// the preceding iteration's Evict emptied the line's entry.
+	for i := 0; i < CoherenceTableOps/7; i++ {
+		line := mem.LineAddr(uint64(i%lines) * mem.LineSize)
+		r := i % cores
+		w := (i + 7) % cores
+		if dir.StateOf(line, r) == cache.Invalid {
+			dir.Read(line, r)
+		}
+		dir.WriteMask(line, w)
+		dir.Evict(line, w)
+		snoop.Read(line, r)
+		snoop.WriteMask(line, w)
+		snoop.Evict(line, w, false)
+	}
+	return CoherenceTableOps / 7 * 7
 }

@@ -22,6 +22,11 @@ type Mesh struct {
 	Width, Height int
 	HopLatency    sim.Cycle
 
+	// lat caches the one-way latency for every node pair (row-major
+	// from*Nodes()+to): the mesh is static, and Latency sits on every
+	// miss path, so the div/mod coordinate math is paid once here.
+	lat []sim.Cycle
+
 	// traffic[n] counts messages that traversed at least one link out of
 	// node n (indexed by node id).
 	traffic []uint64
@@ -33,12 +38,20 @@ func New(width, height int, hopLatency sim.Cycle) *Mesh {
 	if width <= 0 || height <= 0 {
 		panic(fmt.Sprintf("noc: invalid mesh %dx%d", width, height))
 	}
-	return &Mesh{
+	m := &Mesh{
 		Width:      width,
 		Height:     height,
 		HopLatency: hopLatency,
 		traffic:    make([]uint64, width*height),
 	}
+	n := m.Nodes()
+	m.lat = make([]sim.Cycle, n*n)
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			m.lat[from*n+to] = sim.Cycle(m.Hops(from, to)) * hopLatency
+		}
+	}
+	return m
 }
 
 // Nodes returns the node count.
@@ -69,7 +82,9 @@ func (m *Mesh) Hops(from, to int) int {
 // Latency returns the one-way traversal latency between two nodes. A
 // node's access to itself costs nothing.
 func (m *Mesh) Latency(from, to int) sim.Cycle {
-	return sim.Cycle(m.Hops(from, to)) * m.HopLatency
+	m.check(from)
+	m.check(to)
+	return m.lat[from*m.Width*m.Height+to]
 }
 
 // RoundTrip returns the request + response traversal latency.

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // RNG is a small, fast, seedable xorshift64* generator. The simulator never
 // uses math/rand so that results are identical across Go versions and runs.
 type RNG struct {
@@ -46,10 +48,70 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
 }
 
+// Raw53 returns the next draw in the raw comparand domain of Threshold,
+// skipping Float64's division:
+//
+//	r.Float64() < p  ⟺  r.Raw53() < Threshold(p)
+//
+// The equivalence is bit-exact, not approximate: Float64 is (u>>11)·2⁻⁵³
+// with both the 53-bit mantissa and the power-of-two scaling exact, and
+// Threshold scales p by 2⁵³ exactly (pure exponent shift, no rounding for
+// any p of interest), so both comparisons order the same two real numbers.
+// Hot paths that test many probabilities per draw precompute thresholds
+// once and avoid a hardware divide per test.
+func (r *RNG) Raw53() float64 { return float64(r.Uint64() >> 11) }
+
+// Threshold maps a probability into Raw53's comparand domain.
+func Threshold(p float64) float64 { return p * float64(1<<53) }
+
 // Bool returns true with probability p.
 func (r *RNG) Bool(p float64) bool {
 	return r.Float64() < p
 }
+
+// Divisor precomputes the 128-bit reciprocal of a fixed divisor so that
+// Mod costs three multiplies instead of a hardware divide (Lemire's
+// fastmod). Mod(n) equals n % d exactly for every n; hot loops that draw
+// many bounded values against the same bound precompute one Divisor and
+// use rng.Uint64Mod instead of Uint64n.
+type Divisor struct {
+	d        uint64
+	mHi, mLo uint64 // M = floor((2^128-1)/d) + 1
+}
+
+// NewDivisor prepares a reciprocal for d > 0.
+func NewDivisor(d uint64) Divisor {
+	if d == 0 {
+		panic("sim: zero divisor")
+	}
+	// M = floor((2^128 - 1) / d) + 1, by 128/64 long division of all-ones.
+	qHi := ^uint64(0) / d
+	rem := ^uint64(0) % d
+	qLo, _ := bits.Div64(rem, ^uint64(0), d)
+	lo, carry := bits.Add64(qLo, 1, 0)
+	return Divisor{d: d, mHi: qHi + carry, mLo: lo}
+}
+
+// N returns the divisor value.
+func (dv Divisor) N() uint64 { return dv.d }
+
+// Mod returns n % d using the precomputed reciprocal: lowbits = M·n mod
+// 2^128, then ⌊lowbits·d / 2^128⌋, which Lemire proves equals n mod d.
+func (dv Divisor) Mod(n uint64) uint64 {
+	// lowbits = (mHi·2^64 + mLo)·n mod 2^128.
+	lbHi, lbLo := bits.Mul64(dv.mLo, n)
+	lbHi += dv.mHi * n
+	// result = high 64 bits of (lbHi·2^64 + lbLo)·d >> 64, i.e. the
+	// 128-bit product's bits [128, 192).
+	h1, _ := bits.Mul64(lbLo, dv.d)
+	h2, l2 := bits.Mul64(lbHi, dv.d)
+	_, carry := bits.Add64(h1, l2, 0)
+	return h2 + carry
+}
+
+// Uint64Mod returns a value in [0, dv.N()), consuming one Uint64 draw —
+// identical to Uint64n(dv.N()) without the hardware divide.
+func (r *RNG) Uint64Mod(dv Divisor) uint64 { return dv.Mod(r.Uint64()) }
 
 // Fork derives an independent stream; distinct ids produce distinct streams
 // regardless of how many values the parent has consumed.

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRaw53ThresholdMatchesFloat64 proves the bit-exact equivalence the
+// hot paths rely on: for any probability p and any generator state,
+// Float64() < p and Raw53() < Threshold(p) agree. Two clones of the same
+// generator draw in lockstep so both see identical raw bits.
+func TestRaw53ThresholdMatchesFloat64(t *testing.T) {
+	probs := []float64{0, 1e-12, 0.001, 0.03, 1.0 / 12, 0.25, 0.5, 0.9, 0.95, 0.999999, 1}
+	for _, p := range probs {
+		a := NewRNG(42)
+		b := NewRNG(42)
+		th := Threshold(p)
+		for i := 0; i < 200_000; i++ {
+			want := a.Float64() < p
+			got := b.Raw53() < th
+			if want != got {
+				t.Fatalf("p=%v draw %d: Float64 compare %v, Raw53 compare %v", p, i, want, got)
+			}
+		}
+	}
+}
+
+// TestRaw53Range: the raw domain is [0, 2^53), matching Threshold scaling.
+func TestRaw53Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100_000; i++ {
+		v := r.Raw53()
+		if v < 0 || v >= float64(1<<53) {
+			t.Fatalf("Raw53 = %v outside [0, 2^53)", v)
+		}
+		if v != math.Trunc(v) {
+			t.Fatalf("Raw53 = %v not integral", v)
+		}
+	}
+}
+
+// TestDivisorModExact checks Divisor.Mod against the hardware remainder
+// for adversarial divisors (1, 2, powers of two, odd, huge) and
+// adversarial operands (0, d-1, d, d+1, multiples, near 2^64, random).
+func TestDivisorModExact(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 5, 7, 64, 127, 128, 4096,
+		1<<20 + 64*10007, // the workload stride shapes
+		1<<32 + 64*101117,
+		1 << 62, 1<<63 - 1, 1 << 63, ^uint64(0),
+	}
+	r := NewRNG(99)
+	for _, d := range divisors {
+		dv := NewDivisor(d)
+		if dv.N() != d {
+			t.Fatalf("N() = %d, want %d", dv.N(), d)
+		}
+		edges := []uint64{0, 1, d - 1, d, d + 1, 2*d - 1, 2 * d, ^uint64(0), ^uint64(0) - 1, 1 << 63}
+		for _, n := range edges {
+			if got, want := dv.Mod(n), n%d; got != want {
+				t.Fatalf("d=%d: Mod(%d) = %d, want %d", d, n, got, want)
+			}
+		}
+		for i := 0; i < 300_000; i++ {
+			n := r.Uint64()
+			if got, want := dv.Mod(n), n%d; got != want {
+				t.Fatalf("d=%d: Mod(%d) = %d, want %d", d, n, got, want)
+			}
+		}
+	}
+}
+
+func TestNewDivisorZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDivisor(0)
+}
+
+// TestUint64ModMatchesUint64n: the two draw paths consume the same
+// generator state and produce the same value.
+func TestUint64ModMatchesUint64n(t *testing.T) {
+	for _, d := range []uint64{1, 3, 1000, 1<<26 + 64*10007} {
+		a, b := NewRNG(5), NewRNG(5)
+		dv := NewDivisor(d)
+		for i := 0; i < 50_000; i++ {
+			if x, y := a.Uint64n(d), b.Uint64Mod(dv); x != y {
+				t.Fatalf("d=%d draw %d: Uint64n %d vs Uint64Mod %d", d, i, x, y)
+			}
+		}
+	}
+}

@@ -186,6 +186,26 @@ type Stream struct {
 	// Scaled footprints (bytes).
 	instrFP, primary, middle, secondary, sharedPool, coldRegion int64
 
+	// Precomputed sim.Threshold comparands for every probability the hot
+	// loop tests (compared against one rng.Raw53 draw; bit-identical to
+	// the Float64 comparisons they replace — see sim.RNG.Raw53).
+	th struct {
+		mem, jump, hotJump             float64
+		primary, middle, secondary, rw float64 // cumulative region splits
+		store, sharedWrite             float64
+		scan, remote                   float64
+		indep, indepMiddle, indepSec   float64
+		indepShared, indepCold         float64
+	}
+
+	// Precomputed sim.Divisor reciprocals for every bounded draw in the
+	// hot loop (exact n%d without a hardware divide), plus the hot-jump
+	// span they parameterize.
+	instrDiv, hotDiv, primaryDiv, middleDiv sim.Divisor
+	secondaryDiv, sharedDiv, coldDiv        sim.Divisor
+	remoteDiv                               sim.Divisor // over ncores-1 peers
+	hotSpan                                 uint64
+
 	pc         mem.Addr // next instruction address
 	lastILine  mem.LineAddr
 	havePC     bool
@@ -236,6 +256,44 @@ func NewStream(spec Spec, core, ncores int, scale int64, seed uint64) *Stream {
 	// Stagger scan cursors so cores do not move in lockstep.
 	st.scanCursor = (st.secondary / int64(ncores)) * int64(core)
 	st.pc = instrBase + mem.Addr(st.rng.Uint64n(uint64(st.instrFP)))&^(mem.LineSize-1)
+
+	// The cumulative region splits reproduce nextData's historical
+	// `r < f1+f2+…` sums term for term, so the float rounding — and hence
+	// every region decision — is unchanged.
+	st.th.mem = sim.Threshold(spec.MemRatio)
+	st.th.jump = sim.Threshold(1 / float64(spec.JumpEveryLines))
+	st.th.hotJump = sim.Threshold(hotJumpProb)
+	st.th.primary = sim.Threshold(spec.PrimaryFrac)
+	st.th.middle = sim.Threshold(spec.PrimaryFrac + spec.MiddleFrac)
+	st.th.secondary = sim.Threshold(spec.PrimaryFrac + spec.MiddleFrac + spec.SecondaryFrac)
+	st.th.rw = sim.Threshold(spec.PrimaryFrac + spec.MiddleFrac + spec.SecondaryFrac + spec.RWSharedFrac)
+	st.th.store = sim.Threshold(spec.StoreFrac)
+	st.th.sharedWrite = sim.Threshold(spec.SharedWriteFrac)
+	st.th.scan = sim.Threshold(spec.ScanFrac)
+	st.th.remote = sim.Threshold(spec.RemoteProb)
+	st.th.indep = sim.Threshold(spec.IndepProb)
+	st.th.indepMiddle = sim.Threshold(scaledProb(spec.IndepProb, middleIndepScale))
+	st.th.indepSec = sim.Threshold(scaledProb(spec.IndepProb, secondaryIndepScale))
+	st.th.indepShared = sim.Threshold(scaledProb(spec.IndepProb, sharedIndepScale))
+	st.th.indepCold = sim.Threshold(scaledProb(spec.IndepProb, coldIndepScale))
+
+	st.instrDiv = sim.NewDivisor(uint64(st.instrFP))
+	st.hotSpan = uint64(float64(st.instrFP) * hotInstrFrac)
+	if st.hotSpan >= mem.LineSize {
+		st.hotDiv = sim.NewDivisor(st.hotSpan)
+	}
+	st.primaryDiv = sim.NewDivisor(uint64(st.primary))
+	if st.middle > 0 {
+		st.middleDiv = sim.NewDivisor(uint64(st.middle))
+	}
+	st.secondaryDiv = sim.NewDivisor(uint64(st.secondary))
+	if st.sharedPool > 0 {
+		st.sharedDiv = sim.NewDivisor(uint64(st.sharedPool))
+	}
+	st.coldDiv = sim.NewDivisor(uint64(st.coldRegion))
+	if ncores > 1 {
+		st.remoteDiv = sim.NewDivisor(uint64(ncores - 1))
+	}
 	return st
 }
 
@@ -247,13 +305,19 @@ func (s *Stream) Spec() Spec { return s.spec }
 // is never dropped), so tests cross-check Retired against this count.
 func (s *Stream) Generated() uint64 { return s.generated }
 
-// Next fills op with the next instruction. op is reused by callers to avoid
-// allocation in the simulation hot loop.
+// Next fills op with the next instruction. op is reused by callers to
+// avoid allocation in the simulation hot loop. Only the fields consumers
+// read unconditionally (NewIFetchLine, Jump, IsMem) are reset each call;
+// the data fields (Addr, Write, RWShared, Independent, NonTemporal) are
+// meaningful only when IsMem is set — nextData defines every one of them
+// — and may hold stale values from an earlier op otherwise.
 func (s *Stream) Next(op *Op) {
 	s.generated++
-	*op = Op{}
+	op.NewIFetchLine = 0
+	op.Jump = false
+	op.IsMem = false
 	s.nextIFetch(op)
-	if s.rng.Float64() < s.spec.MemRatio {
+	if s.rng.Raw53() < s.th.mem {
 		s.nextData(op)
 	}
 }
@@ -283,14 +347,12 @@ func (s *Stream) nextIFetch(op *Op) {
 	next := s.pc + 4
 	if next.Line() != line {
 		// Crossing a line boundary: maybe jump instead.
-		if s.rng.Float64() < 1/float64(s.spec.JumpEveryLines) {
-			span := uint64(s.instrFP)
-			if s.rng.Float64() < hotJumpProb {
-				if hot := uint64(float64(s.instrFP) * hotInstrFrac); hot >= mem.LineSize {
-					span = hot
-				}
+		if s.rng.Raw53() < s.th.jump {
+			dv := s.instrDiv
+			if s.rng.Raw53() < s.th.hotJump && s.hotSpan >= mem.LineSize {
+				dv = s.hotDiv
 			}
-			next = instrBase + mem.Addr(s.rng.Uint64n(span))&^(mem.LineSize-1)
+			next = instrBase + mem.Addr(s.rng.Uint64Mod(dv))&^(mem.LineSize-1)
 			s.jumped = true
 		}
 		if uint64(next-instrBase) >= uint64(s.instrFP) {
@@ -324,55 +386,61 @@ func scaledProb(p, scale float64) float64 {
 }
 
 // nextData picks the data region and address for a memory instruction.
+// It defines every data field of op (see Next's reset contract): the
+// region branches below overwrite Addr, Write and (where applicable)
+// Independent; RWShared and NonTemporal are set here and overridden by
+// the branches that use them.
 func (s *Stream) nextData(op *Op) {
 	op.IsMem = true
-	op.Independent = s.rng.Float64() < s.spec.IndepProb
-	r := s.rng.Float64()
+	op.RWShared = false
+	op.NonTemporal = false
+	op.Independent = s.rng.Raw53() < s.th.indep
+	r := s.rng.Raw53()
 	switch {
-	case r < s.spec.PrimaryFrac:
+	case r < s.th.primary:
 		base := primaryBase + mem.Addr(int64(s.core)*primaryStride)
-		op.Addr = base + mem.Addr(s.rng.Uint64n(uint64(s.primary)))
-		op.Write = s.rng.Float64() < s.spec.StoreFrac
-	case r < s.spec.PrimaryFrac+s.spec.MiddleFrac:
+		op.Addr = base + mem.Addr(s.rng.Uint64Mod(s.primaryDiv))
+		op.Write = s.rng.Raw53() < s.th.store
+	case r < s.th.middle:
 		base := middleBase + mem.Addr(int64(s.core)*middleStride)
-		op.Addr = base + mem.Addr(s.rng.Uint64n(uint64(s.middle)))
-		op.Write = s.rng.Float64() < s.spec.StoreFrac
-		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, middleIndepScale)
-	case r < s.spec.PrimaryFrac+s.spec.MiddleFrac+s.spec.SecondaryFrac:
+		op.Addr = base + mem.Addr(s.rng.Uint64Mod(s.middleDiv))
+		op.Write = s.rng.Raw53() < s.th.store
+		op.Independent = s.rng.Raw53() < s.th.indepMiddle
+	case r < s.th.secondary:
 		owner := s.core
-		if s.ncores > 1 && s.rng.Float64() < s.spec.RemoteProb {
-			owner = s.rng.Intn(s.ncores - 1)
+		if s.ncores > 1 && s.rng.Raw53() < s.th.remote {
+			owner = int(s.rng.Uint64Mod(s.remoteDiv))
 			if owner >= s.core {
 				owner++
 			}
 		}
 		base := secBase + mem.Addr(int64(owner)*secStride)
 		var off int64
-		if s.rng.Float64() < s.spec.ScanFrac {
+		if s.rng.Raw53() < s.th.scan {
 			off = s.scanCursor
 			s.scanCursor += mem.LineSize
 			if s.scanCursor >= s.secondary {
 				s.scanCursor = 0
 			}
 		} else {
-			off = int64(s.rng.Uint64n(uint64(s.secondary)))
+			off = int64(s.rng.Uint64Mod(s.secondaryDiv))
 		}
 		op.Addr = base + mem.Addr(off)
-		op.Write = s.rng.Float64() < s.spec.StoreFrac
-		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, secondaryIndepScale)
-	case r < s.spec.PrimaryFrac+s.spec.MiddleFrac+s.spec.SecondaryFrac+s.spec.RWSharedFrac:
-		op.Addr = sharedBase + mem.Addr(s.rng.Uint64n(uint64(s.sharedPool)))
-		op.Write = s.rng.Float64() < s.spec.SharedWriteFrac
+		op.Write = s.rng.Raw53() < s.th.store
+		op.Independent = s.rng.Raw53() < s.th.indepSec
+	case r < s.th.rw:
+		op.Addr = sharedBase + mem.Addr(s.rng.Uint64Mod(s.sharedDiv))
+		op.Write = s.rng.Raw53() < s.th.sharedWrite
 		op.RWShared = true
-		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, sharedIndepScale)
+		op.Independent = s.rng.Raw53() < s.th.indepShared
 	default:
 		// Cold stream: uniform over a region far larger than any cache
 		// (16GB per core at paper scale), so reuse is negligible and the
 		// page-based DRAM cache finds no spatial footprint to exploit.
 		base := coldBase + mem.Addr(int64(s.core)*coldStride)
-		op.Addr = base + mem.Addr(s.rng.Uint64n(uint64(s.coldRegion)))
-		op.Write = s.rng.Float64() < s.spec.StoreFrac
-		op.Independent = s.rng.Float64() < scaledProb(s.spec.IndepProb, coldIndepScale)
+		op.Addr = base + mem.Addr(s.rng.Uint64Mod(s.coldDiv))
+		op.Write = s.rng.Raw53() < s.th.store
+		op.Independent = s.rng.Raw53() < s.th.indepCold
 		op.NonTemporal = true
 	}
 }
