@@ -283,6 +283,25 @@ func benchCoherenceTable(b *testing.B, kind coherence.StoreKind) {
 func BenchmarkCoherenceTableOpen(b *testing.B) { benchCoherenceTable(b, coherence.OpenTable) }
 func BenchmarkCoherenceTableMap(b *testing.B)  { benchCoherenceTable(b, coherence.MapStore) }
 
+// BenchmarkCoherenceTableQuot times the quotient-key-compressed store
+// (8 B/slot, the default for ≤16-core systems — see DESIGN.md §8).
+func BenchmarkCoherenceTableQuot(b *testing.B) { benchCoherenceTable(b, coherence.QuotTable) }
+
+// BenchmarkStreamProbe* time trace generation per op through the serial
+// (Next) and batched (NextBatch, what the cpu core consumes) paths on the
+// canonical stream (experiments.RunStreamProbe; paperbench -bench-json
+// reports the same probe in BENCH_<date>.json).
+func benchStreamProbe(b *testing.B, batched bool) {
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		ops += experiments.RunStreamProbe(batched)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/op")
+}
+
+func BenchmarkStreamProbeSerial(b *testing.B)  { benchStreamProbe(b, false) }
+func BenchmarkStreamProbeBatched(b *testing.B) { benchStreamProbe(b, true) }
+
 // BenchmarkDirectoryOps measures the duplicate-tag directory's hot path:
 // a read-share-write-evict cycle across 16 cores.
 func BenchmarkDirectoryOps(b *testing.B) {

@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,21 +27,59 @@ func main() {
 	full := flag.Bool("full", false, "use paper-scale measurement windows")
 	only := flag.String("only", "", "run a single experiment (fig1, fig2, fig3, fig4, fig7, fig8, table1, fig10, fig11, fig12, fig13, fig14, fig15, table6, fig16)")
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
-	benchJSON := flag.Bool("bench-json", false, "write a BENCH_<date>.json performance snapshot and exit")
+	benchJSON := flag.Bool("bench-json", false, "write a BENCH_<date>.json performance snapshot and exit (never clobbers an existing snapshot: a b/c/... suffix is added)")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare the new snapshot's probe metrics against this baseline BENCH_*.json and exit non-zero on a >2x regression (the CI gate)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	// Work happens in run() so the profile-flushing defers execute before
+	// os.Exit.
+	os.Exit(run(*full, *only, *parallel, *benchJSON, *benchBaseline, *cpuprofile, *memprofile))
+}
+
+func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	mode := experiments.Quick()
-	if *full {
+	if full {
 		mode = experiments.Full()
 	}
-	mode.Parallelism = *parallel
+	mode.Parallelism = parallel
 
-	if *benchJSON {
-		if err := writeBenchSnapshot(mode); err != nil {
+	if benchJSON {
+		if err := writeBenchSnapshot(mode, benchBaseline); err != nil {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	runners := []struct {
@@ -66,7 +105,7 @@ func main() {
 
 	matched := false
 	for _, r := range runners {
-		if *only != "" && !strings.EqualFold(*only, r.name) {
+		if only != "" && !strings.EqualFold(only, r.name) {
 			continue
 		}
 		matched = true
@@ -76,9 +115,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", only)
+		return 2
 	}
+	return 0
 }
 
 // benchSnapshot is the schema of BENCH_<date>.json. ns/op figures follow
@@ -111,11 +151,23 @@ type benchSnapshot struct {
 	// CoherenceTable compares the coherence substrates' store
 	// implementations on the canonical directory + snoop cycle
 	// (experiments.RunCoherenceTableProbe), mirroring
-	// BenchmarkCoherenceTableOpen/Map.
+	// BenchmarkCoherenceTableQuot/Open/Map. BytesPerSlot is the inline
+	// slot footprint of the default store for the measured 16-core
+	// systems (8 B for the quotient-compressed table, DESIGN.md §8).
 	CoherenceTable struct {
-		OpenNsPerOp float64 `json:"open_ns_per_op"`
-		MapNsPerOp  float64 `json:"map_ns_per_op"`
+		QuotNsPerOp  float64 `json:"quot_ns_per_op"`
+		OpenNsPerOp  float64 `json:"open_ns_per_op"`
+		MapNsPerOp   float64 `json:"map_ns_per_op"`
+		BytesPerSlot int     `json:"bytes_per_slot"`
 	} `json:"coherence_table"`
+
+	// StreamProbe compares trace generation per op through the serial
+	// (Next) and batched (NextBatch, what the cpu core consumes) paths
+	// (experiments.RunStreamProbe), mirroring BenchmarkStreamProbe*.
+	StreamProbe struct {
+		SerialNsPerOp  float64 `json:"serial_ns_per_op"`
+		BatchedNsPerOp float64 `json:"batched_ns_per_op"`
+	} `json:"stream_probe"`
 
 	// SystemThroughput mirrors BenchmarkSystemSimulationThroughput: a
 	// warmed 16-core SILO system running Web Search, measured in 10K-cycle
@@ -141,9 +193,12 @@ type benchSnapshot struct {
 	} `json:"fig10"`
 }
 
-// writeBenchSnapshot measures the two headline performance numbers and
-// writes them to BENCH_<date>.json in the current directory.
-func writeBenchSnapshot(mode experiments.Mode) error {
+// writeBenchSnapshot measures the headline performance numbers and writes
+// them to BENCH_<date>.json in the current directory (suffixing b/c/...
+// when a snapshot for the date already exists, so the trajectory keeps
+// every point; see snapshotName for why the suffixes are letters). With a baseline it then gates: any probe metric more than
+// benchRegressionFactor slower than the baseline's fails the run.
+func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 	var snap benchSnapshot
 	snap.Date = time.Now().Format("2006-01-02")
 	snap.Mode = mode.Name
@@ -172,12 +227,18 @@ func writeBenchSnapshot(mode experiments.Mode) error {
 		return experiments.RunSchedulerProbe(sim.BinaryHeap)
 	})
 	snap.ArrayProbe.NsPerAccess = bestOf(experiments.RunArrayProbe)
+	snap.CoherenceTable.QuotNsPerOp = bestOf(func() uint64 {
+		return experiments.RunCoherenceTableProbe(coherence.QuotTable)
+	})
 	snap.CoherenceTable.OpenNsPerOp = bestOf(func() uint64 {
 		return experiments.RunCoherenceTableProbe(coherence.OpenTable)
 	})
 	snap.CoherenceTable.MapNsPerOp = bestOf(func() uint64 {
 		return experiments.RunCoherenceTableProbe(coherence.MapStore)
 	})
+	snap.CoherenceTable.BytesPerSlot = coherence.DefaultStore(16).BytesPerSlot()
+	snap.StreamProbe.SerialNsPerOp = bestOf(func() uint64 { return experiments.RunStreamProbe(false) })
+	snap.StreamProbe.BatchedNsPerOp = bestOf(func() uint64 { return experiments.RunStreamProbe(true) })
 
 	// Hot-path throughput: the same warmed system and window as
 	// BenchmarkSystemSimulationThroughput, best of three ~1s rounds.
@@ -223,7 +284,7 @@ func writeBenchSnapshot(mode experiments.Mode) error {
 	snap.Fig10.NsPerOp = float64(time.Since(figStart).Nanoseconds())
 	snap.Fig10.SiloGeomeanX = r.SpeedupOf("SILO")
 
-	name := fmt.Sprintf("BENCH_%s.json", snap.Date)
+	name := snapshotName(snap.Date)
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -231,9 +292,86 @@ func writeBenchSnapshot(mode experiments.Mode) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%s: %.1f ns/event vs heap %.1f; array %.1f ns/access; table %.1f vs map %.1f ns/op; throughput %.2fms/op %.1f allocs/op, fig10 %.2fs, silo geomean %.7fx)\n",
+	fmt.Fprintf(os.Stderr, "wrote %s (%s: %.1f ns/event vs heap %.1f; array %.1f ns/access; table quot %.1f / open %.1f / map %.1f ns/op, %d B/slot; stream %.1f serial vs %.1f batched ns/op; throughput %.2fms/op %.1f allocs/op, fig10 %.2fs, silo geomean %.7fx)\n",
 		name, snap.Scheduler, snap.SchedulerProbe.CalendarNsPerEvent, snap.SchedulerProbe.HeapNsPerEvent,
-		snap.ArrayProbe.NsPerAccess, snap.CoherenceTable.OpenNsPerOp, snap.CoherenceTable.MapNsPerOp,
+		snap.ArrayProbe.NsPerAccess,
+		snap.CoherenceTable.QuotNsPerOp, snap.CoherenceTable.OpenNsPerOp, snap.CoherenceTable.MapNsPerOp,
+		snap.CoherenceTable.BytesPerSlot,
+		snap.StreamProbe.SerialNsPerOp, snap.StreamProbe.BatchedNsPerOp,
 		snap.SystemThroughput.NsPerOp/1e6, snap.SystemThroughput.AllocsPerOp, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
+
+	if baseline != "" {
+		return gateAgainstBaseline(&snap, baseline)
+	}
+	return nil
+}
+
+// snapshotName returns BENCH_<date>.json, or BENCH_<date>b.json,
+// BENCH_<date>c.json, ... when snapshots for the date already exist —
+// same-day snapshots (e.g. before/after within one PR) must both survive
+// so the perf trajectory stays complete. Letter suffixes keep plain
+// lexicographic sort chronological ('.' < any letter), which the CI
+// regression gate relies on to pick the newest committed snapshot with
+// `ls | sort | tail -1`.
+func snapshotName(date string) string {
+	name := fmt.Sprintf("BENCH_%s.json", date)
+	for c := 'b'; ; c++ {
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name
+		}
+		if c > 'z' {
+			panic("paperbench: more than 25 snapshots in one day")
+		}
+		name = fmt.Sprintf("BENCH_%s%c.json", date, c)
+	}
+}
+
+// benchRegressionFactor is the CI gate's tolerance: probe metrics may vary
+// a lot across runner generations and machine phases, so only a >2x
+// slowdown — a real algorithmic regression, not noise — fails the build.
+const benchRegressionFactor = 2.0
+
+// gateAgainstBaseline compares the fresh snapshot's probe metrics against
+// a committed baseline snapshot and errors on any >2x regression. Metrics
+// the (older) baseline lacks are skipped, so the gate tightens as the
+// schema grows.
+func gateAgainstBaseline(snap *benchSnapshot, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	checks := []struct {
+		name      string
+		old, new_ float64
+	}{
+		{"scheduler_probe.calendar_ns_per_event", base.SchedulerProbe.CalendarNsPerEvent, snap.SchedulerProbe.CalendarNsPerEvent},
+		{"array_probe.ns_per_access", base.ArrayProbe.NsPerAccess, snap.ArrayProbe.NsPerAccess},
+		{"coherence_table.quot_ns_per_op", base.CoherenceTable.QuotNsPerOp, snap.CoherenceTable.QuotNsPerOp},
+		{"coherence_table.open_ns_per_op", base.CoherenceTable.OpenNsPerOp, snap.CoherenceTable.OpenNsPerOp},
+		{"stream_probe.serial_ns_per_op", base.StreamProbe.SerialNsPerOp, snap.StreamProbe.SerialNsPerOp},
+		{"stream_probe.batched_ns_per_op", base.StreamProbe.BatchedNsPerOp, snap.StreamProbe.BatchedNsPerOp},
+		{"system_throughput.ns_per_op", base.SystemThroughput.NsPerOp, snap.SystemThroughput.NsPerOp},
+	}
+	bad := 0
+	for _, c := range checks {
+		if c.old <= 0 { // metric absent from the older baseline schema
+			continue
+		}
+		ratio := c.new_ / c.old
+		if ratio > benchRegressionFactor {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.2f -> %.2f ns (%.2fx > %.1fx tolerance vs %s)\n",
+				c.name, c.old, c.new_, ratio, benchRegressionFactor, path)
+			bad++
+		} else {
+			fmt.Fprintf(os.Stderr, "gate ok %s: %.2f -> %.2f ns (%.2fx)\n", c.name, c.old, c.new_, ratio)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d probe metric(s) regressed >%.1fx against %s", bad, benchRegressionFactor, path)
+	}
 	return nil
 }

@@ -73,47 +73,76 @@ const (
 )
 
 // Slot-word encoding: each way is one uint64 packing validity, coherence
-// state and tag —
+// state, LRU recency and tag —
 //
-//	bit  0     valid
-//	bits 1-3   State
-//	bits 4-63  tag (line address / LineSize)
+//	bit  0      valid
+//	bits 1-3    State
+//	bits 4-23   recency stamp (set-local; see nextStamp)
+//	bits 24-63  tag (line address / LineSize)
 //
-// so a tag scan, a state read and a fill each touch exactly 8 bytes per
-// way. Recency lives in a parallel slice (see Array.used). One packed
-// word per slot (rather than a tag/state struct) is what lets a
-// direct-mapped DRAM-vault fill dirty a single cache line of a
-// multi-megabyte array.
+// so a tag scan, a state read, a recency touch and a fill each touch
+// exactly 8 bytes per way — one cache line for the whole set at the
+// simulated 8-way geometries. Folding the stamp into the word (instead of
+// the former side slice) removes the second line a hit used to dirty. The
+// 40-bit tag field bounds addresses to 2^46 B, far above the workload
+// address map's 2^42 ceiling (internal/workload); place() enforces it.
+//
+// Stamps are set-local, drawn from a per-set counter (setTick, a dense
+// uint32 per set — 16x smaller than the former per-slot stamp slice and
+// shared across 16 sets per cache line). When the 20-bit field saturates,
+// the set's stamps are renormalized to ranks and the counter rewinds.
+// Renormalization preserves both the relative order of positive stamps
+// and the demoted-to-zero class, so victim choice — min (stamp, way) — is
+// bit-identical to the former global-tick scheme (the ordering argument
+// is spelled out in DESIGN.md §8).
 const (
-	slotValid     = 1
-	slotStateMask = 0b1110
-	slotTagShift  = 4
+	slotValid      = 1
+	slotStateMask  = 0b1110
+	slotStampShift = 4
+	slotStampBits  = 20
+	slotStampMax   = 1<<slotStampBits - 1
+	slotStampMask  = uint64(slotStampMax) << slotStampShift
+	slotTagShift   = slotStampShift + slotStampBits
+	maxSlotTag     = 1<<(64-slotTagShift) - 1
 )
 
 func packSlot(t uint64, st State) uint64 { return t<<slotTagShift | uint64(st)<<1 | slotValid }
 
-func slotState(v uint64) State { return State((v & slotStateMask) >> 1) }
-func slotTag(v uint64) uint64  { return v >> slotTagShift }
+func slotState(v uint64) State  { return State((v & slotStateMask) >> 1) }
+func slotTag(v uint64) uint64   { return v >> slotTagShift }
+func slotStamp(v uint64) uint64 { return v >> slotStampShift & slotStampMax }
 
 // Array is a set-associative cache tag/state array.
 type Array struct {
 	sets   int
 	ways   int
 	policy Policy
-	shift  uint // set-index shift (see NewBankedArray)
-	tick   uint64
+	shift  uint   // set-index shift (see NewBankedArray)
 	rndst  uint64 // xorshift state for RandomRepl
 
-	// slots holds the packed tag/state words, sets*ways, set-major;
+	// lru is set when the recency stamps in the slot words are live:
+	// LRU policy with more than one way. Direct-mapped arrays never read
+	// recency, and RandomRepl never consults it, so both skip the stamp
+	// maintenance (and its stores) entirely.
+	lru bool
+	// wayShift is log2(ways) when ways is a power of two (the hot
+	// way-index-to-set-index shift), else -1 and the slow divide is used.
+	wayShift int
+
+	// slots holds the packed tag/state/stamp words, sets*ways, set-major;
 	// 0 marks an empty slot.
 	slots []uint64
 
-	// used holds per-slot LRU timestamps. Slots of invalid lines carry
-	// stale values harmlessly: the victim scan only runs on full sets,
-	// and placement refreshes the slot it fills. Direct-mapped arrays
-	// never read recency, so their mutators skip the write (and the
-	// dirtied cache line) entirely.
-	used []uint64
+	// setTick holds each set's stamp counter (nil unless lru): the next
+	// touch or fill in the set stamps setTick[s]+1. The counter never
+	// trails a live stamp, so every new stamp is the set's strict maximum.
+	setTick []uint32
+
+	// hint caches each set's last hit or fill way (nil when ways == 1):
+	// ProbeTouch checks it before scanning. A pure accelerator — the full
+	// tag compare guards every use, and tags are unique within a set, so
+	// a stale hint can only cost the scan it would have skipped.
+	hint []uint8
 
 	// Occupancy tracks the number of valid lines, maintained incrementally
 	// so invariant checks are O(1).
@@ -148,14 +177,26 @@ func NewArray(sizeBytes int64, ways int, policy Policy) *Array {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	return &Array{
-		sets:   int(sets),
-		ways:   ways,
-		policy: policy,
-		slots:  make([]uint64, lines),
-		used:   make([]uint64, lines),
-		rndst:  0x9E3779B97F4A7C15,
+	wayShift := -1
+	if ways&(ways-1) == 0 {
+		wayShift = ilog2(uint64(ways))
 	}
+	a := &Array{
+		sets:     int(sets),
+		ways:     ways,
+		policy:   policy,
+		lru:      policy == LRU && ways > 1,
+		wayShift: wayShift,
+		slots:    make([]uint64, lines),
+		rndst:    0x9E3779B97F4A7C15,
+	}
+	if a.lru {
+		a.setTick = make([]uint32, sets)
+	}
+	if ways > 1 {
+		a.hint = make([]uint8, sets)
+	}
+	return a
 }
 
 // Sets returns the number of sets.
@@ -200,8 +241,53 @@ func (a *Array) Probe(line mem.LineAddr) Way {
 	base := int(t>>a.shift&uint64(a.sets-1)) * a.ways
 	want := t<<slotTagShift | slotValid
 	for w, v := range a.slots[base : base+a.ways] {
-		if v&^slotStateMask == want {
+		if v&^(slotStateMask|slotStampMask) == want {
 			return Way(base + w)
+		}
+	}
+	return NoWay
+}
+
+// ProbeTouch finds the line and marks it most recently used in the same
+// scan, returning its slot handle or NoWay — the fused form of
+// Probe+TouchWay for hit paths that always touch. The stamp update reuses
+// the scan's set index and slot word, so a hit costs one pass and (on LRU
+// arrays) one counter bump instead of a second probe-and-divide.
+func (a *Array) ProbeTouch(line mem.LineAddr) Way {
+	t := uint64(line) / mem.LineSize
+	s := int(t >> a.shift & uint64(a.sets-1))
+	base := s * a.ways
+	want := t<<slotTagShift | slotValid
+	if a.hint != nil {
+		// Most hits repeat the set's last hit or fill: check that way
+		// before scanning (the tag compare makes a stale hint harmless).
+		if w := base + int(a.hint[s]); a.slots[w]&^(slotStateMask|slotStampMask) == want {
+			if a.lru {
+				c := uint64(a.setTick[s]) + 1
+				if c > slotStampMax {
+					c = a.renormSet(base) + 1
+				}
+				a.setTick[s] = uint32(c)
+				a.slots[w] = a.slots[w]&^slotStampMask | c<<slotStampShift
+			}
+			return Way(w)
+		}
+	}
+	for w, v := range a.slots[base : base+a.ways] {
+		if v&^(slotStateMask|slotStampMask) == want {
+			idx := base + w
+			if a.hint != nil {
+				a.hint[s] = uint8(w)
+			}
+			if a.lru {
+				c := uint64(a.setTick[s]) + 1
+				if c > slotStampMax {
+					c = a.renormSet(base) + 1
+				}
+				a.setTick[s] = uint32(c)
+				a.slots[idx] = a.slots[idx]&^slotStampMask | c<<slotStampShift
+			}
+			return Way(idx)
 		}
 	}
 	return NoWay
@@ -210,15 +296,78 @@ func (a *Array) Probe(line mem.LineAddr) Way {
 // WayState returns the coherence state of the probed slot.
 func (a *Array) WayState(w Way) State { return slotState(a.slots[w]) }
 
-// TouchWay marks the probed slot most recently used. Direct-mapped arrays
-// skip the recency write: with one way the victim choice never consults
-// it, so the store would only dirty a cache line per hit.
+// TouchWay marks the probed slot most recently used. Direct-mapped and
+// RandomRepl arrays skip the recency write: their victim choice never
+// consults it, so the store would only dirty the set's words per hit.
 func (a *Array) TouchWay(w Way) {
-	if a.ways == 1 {
-		return
+	// The guard-plus-outlined-body split keeps TouchWay itself inlinable:
+	// direct-mapped and RandomRepl arrays pay one predicted branch and no
+	// call at all.
+	if a.lru {
+		a.stampMRU(w)
 	}
-	a.tick++
-	a.used[w] = a.tick
+}
+
+// stampMRU stamps one slot of an LRU set most recently used.
+func (a *Array) stampMRU(w Way) {
+	st := a.nextStamp(a.setIndex(w))
+	a.slots[w] = a.slots[w]&^slotStampMask | st<<slotStampShift
+}
+
+// setIndex returns the set number of the slot holding way w.
+func (a *Array) setIndex(w Way) int {
+	if a.wayShift >= 0 {
+		return int(w) >> a.wayShift
+	}
+	return int(w) / a.ways
+}
+
+// nextStamp advances set s's counter and returns the stamp to write: the
+// set's new strict maximum. When the 20-bit field saturates the set is
+// renormalized to ranks and the counter rewinds to the new maximum.
+func (a *Array) nextStamp(s int) uint64 {
+	c := uint64(a.setTick[s]) + 1
+	if c > slotStampMax {
+		c = a.renormSet(s*a.ways) + 1
+	}
+	a.setTick[s] = uint32(c)
+	return c
+}
+
+// renormSet compresses the set's stamps to ranks when the field saturates,
+// returning the new maximum. Positive stamps (unique within a set: each is
+// a past max+1) map to 1..m preserving order; zero stamps — the demoted
+// class, where victim ties break by lowest way — stay zero, so every
+// future victim comparison orders exactly as before the renormalization.
+func (a *Array) renormSet(base int) uint64 {
+	var buf [64]uint64
+	old := buf[:]
+	if a.ways > len(buf) {
+		old = make([]uint64, a.ways)
+	}
+	for k := 0; k < a.ways; k++ {
+		// Invalid slots are all-zero words, so their stamp reads 0 and they
+		// are skipped below.
+		old[k] = slotStamp(a.slots[base+k])
+	}
+	m := uint64(0)
+	for k := 0; k < a.ways; k++ {
+		s := old[k]
+		if s == 0 {
+			continue
+		}
+		rank := uint64(1)
+		for j := 0; j < a.ways; j++ {
+			if old[j] > 0 && old[j] < s {
+				rank++
+			}
+		}
+		a.slots[base+k] = a.slots[base+k]&^slotStampMask | rank<<slotStampShift
+		if rank > m {
+			m = rank
+		}
+	}
+	return m
 }
 
 // SetStateWay updates the coherence state of the probed slot. Setting
@@ -235,10 +384,10 @@ func (a *Array) SetStateWay(w Way, st State) {
 
 // DemoteWay moves the probed slot to LRU priority (the set's preferred
 // victim), the way-indexed form of InsertNonTemporal's demotion. A no-op
-// on direct-mapped arrays, where recency is never consulted.
+// on direct-mapped and RandomRepl arrays, where recency is never consulted.
 func (a *Array) DemoteWay(w Way) {
-	if a.ways > 1 {
-		a.used[w] = 0
+	if a.lru {
+		a.slots[w] &^= slotStampMask
 	}
 }
 
@@ -352,6 +501,10 @@ func (a *Array) InsertAt(line mem.LineAddr, st State) (w Way, ev Eviction, evict
 // place fills the chosen way (or the policy victim when victim < 0) and
 // maintains occupancy, recency and the eviction report.
 func (a *Array) place(s, victim int, t uint64, st State) (w Way, ev Eviction, evicted bool) {
+	if t > maxSlotTag {
+		panic(fmt.Sprintf("cache: line tag %#x exceeds the %d-bit packed-slot tag field (address beyond 2^46)",
+			t, 64-slotTagShift))
+	}
 	if victim == -1 {
 		victim = a.victim(s)
 		v := a.slots[s*a.ways+victim]
@@ -360,13 +513,15 @@ func (a *Array) place(s, victim int, t uint64, st State) (w Way, ev Eviction, ev
 		a.occupied--
 	}
 	idx := s*a.ways + victim
-	a.slots[idx] = packSlot(t, st)
-	if a.ways > 1 {
-		// Direct-mapped arrays skip recency (see TouchWay): one less
-		// dirtied cache line per fill of the large vault arrays.
-		a.tick++
-		a.used[idx] = a.tick
+	word := packSlot(t, st)
+	if a.lru {
+		// Direct-mapped and RandomRepl arrays skip recency entirely.
+		word |= a.nextStamp(s) << slotStampShift
 	}
+	if a.hint != nil {
+		a.hint[s] = uint8(victim)
+	}
+	a.slots[idx] = word
 	a.occupied++
 	return Way(idx), ev, evicted
 }
@@ -376,10 +531,10 @@ func (a *Array) victim(set int) int {
 	switch a.policy {
 	case LRU:
 		base := set * a.ways
-		best, bestUsed := 0, a.used[base]
+		best, bestStamp := 0, slotStamp(a.slots[base])
 		for w := 1; w < a.ways; w++ {
-			if u := a.used[base+w]; u < bestUsed {
-				best, bestUsed = w, u
+			if s := slotStamp(a.slots[base+w]); s < bestStamp {
+				best, bestStamp = w, s
 			}
 		}
 		return best

@@ -257,6 +257,65 @@ func TestLRUStackProperty(t *testing.T) {
 	}
 }
 
+// TestStampRenormalizationPreservesLRUOrder saturates the 20-bit in-word
+// recency stamp of one set and checks the victim ordering survives the
+// renormalization to ranks (bit-identical to the former global-tick LRU).
+func TestStampRenormalizationPreservesLRUOrder(t *testing.T) {
+	a := NewArray(4*mem.LineSize, 4, LRU) // 1 set x 4 ways
+	for i := uint64(0); i < 4; i++ {
+		a.Insert(line(i), Shared)
+	}
+	// Force the stamp field past its 2^20-1 ceiling (several renorms).
+	for i := 0; i < (1<<20)+50; i++ {
+		a.Touch(line(uint64(i % 4)))
+	}
+	// Establish a known order: line 1 least recent, then 2, 3, 0.
+	a.Touch(line(2))
+	a.Touch(line(3))
+	a.Touch(line(0))
+	ev, evicted := a.Insert(line(9), Shared)
+	if !evicted || ev.Line != line(1) {
+		t.Fatalf("evicted %#x (%v), want line 1 after renormalization", uint64(ev.Line), evicted)
+	}
+}
+
+// TestDemoteTieBreaksByLowestWay pins the demoted-class tie rule: two
+// demoted ways both sit at stamp 0 and the victim scan must take the
+// lowest way index, exactly as the pre-fold LRU did.
+func TestDemoteTieBreaksByLowestWay(t *testing.T) {
+	a := NewArray(4*mem.LineSize, 4, LRU)
+	for i := uint64(0); i < 4; i++ {
+		a.Insert(line(i), Shared)
+	}
+	for i := uint64(0); i < 4; i++ {
+		a.Touch(line(i))
+	}
+	// Demote in high-to-low way order; the tie must still break low.
+	a.DemoteWay(a.Probe(line(2)))
+	a.DemoteWay(a.Probe(line(1)))
+	ev, evicted := a.Insert(line(9), Shared)
+	if !evicted || ev.Line != line(1) {
+		t.Fatalf("evicted %#x (%v), want line 1 (lowest demoted way)", uint64(ev.Line), evicted)
+	}
+	// The other demoted way is next.
+	ev, evicted = a.Insert(line(13), Shared)
+	if !evicted || ev.Line != line(2) {
+		t.Fatalf("second eviction %#x (%v), want line 2", uint64(ev.Line), evicted)
+	}
+}
+
+// TestOversizedTagPanics pins the packed-slot address bound: tags beyond
+// the 40-bit field must fail loudly on insert, not alias silently.
+func TestOversizedTagPanics(t *testing.T) {
+	a := NewArray(4*mem.LineSize, 2, LRU)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a tag beyond 2^40")
+		}
+	}()
+	a.Insert(mem.LineAddr(uint64(1)<<47), Shared)
+}
+
 func TestRandomReplStaysInBounds(t *testing.T) {
 	a := NewArray(8*mem.LineSize, 8, RandomRepl)
 	for i := uint64(0); i < 8; i++ {

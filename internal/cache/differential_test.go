@@ -194,10 +194,16 @@ func runArrayDifferential(t *testing.T, sets, ways int, shift uint, seed uint64,
 			if w != NoWay && fast.WayState(w) != want {
 				t.Fatalf("op %d: fast.WayState = %v, model %v", i, fast.WayState(w), want)
 			}
-		case 1: // touch
+		case 1: // touch — alternate the two-step and fused fast forms
 			want := model.touch(line)
 			if got := ref.Touch(line); got != want {
 				t.Fatalf("op %d: ref.Touch = %v, model %v", i, got, want)
+			}
+			if i%2 == 0 {
+				if w := fast.ProbeTouch(line); (w != NoWay) != want {
+					t.Fatalf("op %d: fast.ProbeTouch hit=%v, model %v", i, w != NoWay, want)
+				}
+				break
 			}
 			if w := fast.Probe(line); w != NoWay {
 				if !want {

@@ -9,68 +9,74 @@ import (
 )
 
 // The coherence differential: a SnoopFilter (and a Directory) built on the
-// open-addressed table must return, operation for operation, exactly what
-// the map-backed reference returns — results, stats, and entry counts.
-// Together with the protocol logic being byte-for-byte shared (only the
-// store differs), this is the substrate-swap half of the determinism
-// contract (DESIGN.md §7). CI runs this file under -race.
+// open-addressed or quotient-compressed table must return, operation for
+// operation, exactly what the map-backed reference returns — results,
+// stats, and entry counts. Together with the protocol logic being
+// byte-for-byte shared (only the store differs), this is the
+// substrate-swap half of the determinism contract (DESIGN.md §7 and §8).
+// CI runs this file under -race.
+
+// tableKinds are the fast stores checked against the map reference.
+var tableKinds = []StoreKind{OpenTable, QuotTable}
 
 func snoopStats(f *SnoopFilter) [2]uint64 { return [2]uint64{f.Forwards, f.Invalidations} }
 
 func TestSnoopFilterStoreDifferential(t *testing.T) {
-	for seed := uint64(1); seed <= 4; seed++ {
-		const cores = 16
-		open := NewSnoopFilterWithStore(cores, OpenTable)
-		ref := NewSnoopFilterWithStore(cores, MapStore)
-		rng := sim.NewRNG(seed * 31337)
+	for _, kind := range tableKinds {
+		for seed := uint64(1); seed <= 4; seed++ {
+			const cores = 16
+			fast := NewSnoopFilterWithStore(cores, kind)
+			ref := NewSnoopFilterWithStore(cores, MapStore)
+			rng := sim.NewRNG(seed * 31337)
 
-		const lines = 3000 // enough to grow the table several times
-		line := func(i uint64) mem.LineAddr { return mem.LineAddr(i * mem.LineSize) }
+			const lines = 3000 // enough to grow the table several times
+			line := func(i uint64) mem.LineAddr { return mem.LineAddr(i * mem.LineSize) }
 
-		for i := 0; i < 120_000; i++ {
-			l := line(rng.Uint64n(lines))
-			c := int(rng.Uint64n(cores))
-			switch rng.Uint64n(8) {
-			case 0, 1, 2:
-				fo, do := open.Read(l, c)
-				fr, dr := ref.Read(l, c)
-				if fo != fr || do != dr {
-					t.Fatalf("seed %d op %d: Read = (%d,%v) vs (%d,%v)", seed, i, fo, do, fr, dr)
+			for i := 0; i < 120_000; i++ {
+				l := line(rng.Uint64n(lines))
+				c := int(rng.Uint64n(cores))
+				switch rng.Uint64n(8) {
+				case 0, 1, 2:
+					fo, do := fast.Read(l, c)
+					fr, dr := ref.Read(l, c)
+					if fo != fr || do != dr {
+						t.Fatalf("%v seed %d op %d: Read = (%d,%v) vs (%d,%v)", kind, seed, i, fo, do, fr, dr)
+					}
+				case 3, 4:
+					mo, do := fast.WriteMask(l, c)
+					mr, dr := ref.WriteMask(l, c)
+					if mo != mr || do != dr {
+						t.Fatalf("%v seed %d op %d: WriteMask = (%#x,%v) vs (%#x,%v)", kind, seed, i, mo, do, mr, dr)
+					}
+				case 5:
+					fast.Evict(l, c, i%2 == 0)
+					ref.Evict(l, c, i%2 == 0)
+				case 6:
+					if fast.InvalidateAllMask(l) != ref.InvalidateAllMask(l) {
+						t.Fatalf("%v seed %d op %d: InvalidateAllMask diverged", kind, seed, i)
+					}
+				case 7:
+					if fast.HoldersMask(l) != ref.HoldersMask(l) || fast.DirtyOwner(l) != ref.DirtyOwner(l) {
+						t.Fatalf("%v seed %d op %d: query diverged", kind, seed, i)
+					}
 				}
-			case 3, 4:
-				mo, do := open.WriteMask(l, c)
-				mr, dr := ref.WriteMask(l, c)
-				if mo != mr || do != dr {
-					t.Fatalf("seed %d op %d: WriteMask = (%#x,%v) vs (%#x,%v)", seed, i, mo, do, mr, dr)
+				if snoopStats(fast) != snoopStats(ref) {
+					t.Fatalf("%v seed %d op %d: stats %v vs %v", kind, seed, i, snoopStats(fast), snoopStats(ref))
 				}
-			case 5:
-				open.Evict(l, c, i%2 == 0)
-				ref.Evict(l, c, i%2 == 0)
-			case 6:
-				if open.InvalidateAllMask(l) != ref.InvalidateAllMask(l) {
-					t.Fatalf("seed %d op %d: InvalidateAllMask diverged", seed, i)
-				}
-			case 7:
-				if open.HoldersMask(l) != ref.HoldersMask(l) || open.DirtyOwner(l) != ref.DirtyOwner(l) {
-					t.Fatalf("seed %d op %d: query diverged", seed, i)
+				if fast.Entries() != ref.Entries() {
+					t.Fatalf("%v seed %d op %d: entries %d vs %d", kind, seed, i, fast.Entries(), ref.Entries())
 				}
 			}
-			if snoopStats(open) != snoopStats(ref) {
-				t.Fatalf("seed %d op %d: stats %v vs %v", seed, i, snoopStats(open), snoopStats(ref))
+			if msg := fast.CheckInvariants(); msg != "" {
+				t.Fatalf("%v seed %d: invariants: %s", kind, seed, msg)
 			}
-			if open.Entries() != ref.Entries() {
-				t.Fatalf("seed %d op %d: entries %d vs %d", seed, i, open.Entries(), ref.Entries())
-			}
+			// Entry-for-entry agreement.
+			ref.ForEachEntry(func(l mem.LineAddr, mask uint32, owner int) {
+				if fast.HoldersMask(l) != mask || fast.DirtyOwner(l) != owner {
+					t.Fatalf("%v seed %d: entry %#x diverged", kind, seed, uint64(l))
+				}
+			})
 		}
-		if msg := open.CheckInvariants(); msg != "" {
-			t.Fatalf("seed %d: open invariants: %s", seed, msg)
-		}
-		// Entry-for-entry agreement.
-		ref.ForEachEntry(func(l mem.LineAddr, mask uint32, owner int) {
-			if open.HoldersMask(l) != mask || open.DirtyOwner(l) != owner {
-				t.Fatalf("seed %d: entry %#x diverged", seed, uint64(l))
-			}
-		})
 	}
 }
 
@@ -79,68 +85,70 @@ func dirStats(d *Directory) [6]uint64 {
 }
 
 func TestDirectoryStoreDifferential(t *testing.T) {
-	for _, proto := range []Protocol{MOESI, MESI} {
-		for seed := uint64(1); seed <= 3; seed++ {
-			const cores = 16
-			open := NewDirectoryWithStore(cores, proto, OpenTable)
-			ref := NewDirectoryWithStore(cores, proto, MapStore)
-			rng := sim.NewRNG(seed*7907 + uint64(proto))
+	for _, kind := range tableKinds {
+		for _, proto := range []Protocol{MOESI, MESI} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				const cores = 16
+				fast := NewDirectoryWithStore(cores, proto, kind)
+				ref := NewDirectoryWithStore(cores, proto, MapStore)
+				rng := sim.NewRNG(seed*7907 + uint64(proto))
 
-			const lines = 2500
-			line := func(i uint64) mem.LineAddr { return mem.LineAddr(i * mem.LineSize) }
+				const lines = 2500
+				line := func(i uint64) mem.LineAddr { return mem.LineAddr(i * mem.LineSize) }
 
-			for i := 0; i < 100_000; i++ {
-				l := line(rng.Uint64n(lines))
-				c := int(rng.Uint64n(cores))
-				st := ref.StateOf(l, c)
-				if st != open.StateOf(l, c) {
-					t.Fatalf("proto %v seed %d op %d: StateOf diverged", proto, seed, i)
+				for i := 0; i < 100_000; i++ {
+					l := line(rng.Uint64n(lines))
+					c := int(rng.Uint64n(cores))
+					st := ref.StateOf(l, c)
+					if st != fast.StateOf(l, c) {
+						t.Fatalf("%v proto %v seed %d op %d: StateOf diverged", kind, proto, seed, i)
+					}
+					switch rng.Uint64n(8) {
+					case 0, 1, 2: // read miss (legal only when absent)
+						if st != cache.Invalid {
+							continue
+						}
+						oo := fast.Read(l, c)
+						ro := ref.Read(l, c)
+						if oo != ro {
+							t.Fatalf("%v proto %v seed %d op %d: Read %+v vs %+v", kind, proto, seed, i, oo, ro)
+						}
+					case 3, 4: // write or upgrade
+						oo := fast.WriteMask(l, c)
+						ro := ref.WriteMask(l, c)
+						if oo != ro {
+							t.Fatalf("%v proto %v seed %d op %d: WriteMask %+v vs %+v", kind, proto, seed, i, oo, ro)
+						}
+					case 5: // evict (legal only when held)
+						if st == cache.Invalid {
+							continue
+						}
+						oo := fast.Evict(l, c)
+						ro := ref.Evict(l, c)
+						if oo != ro {
+							t.Fatalf("%v proto %v seed %d op %d: Evict %+v vs %+v", kind, proto, seed, i, oo, ro)
+						}
+					case 6: // silent E->M upgrade (legal only for the E owner)
+						if st != cache.Exclusive {
+							continue
+						}
+						fast.MarkDirty(l, c)
+						ref.MarkDirty(l, c)
+					case 7: // queries
+						if fast.SharersMask(l) != ref.SharersMask(l) || fast.Owner(l) != ref.Owner(l) {
+							t.Fatalf("%v proto %v seed %d op %d: query diverged", kind, proto, seed, i)
+						}
+					}
+					if dirStats(fast) != dirStats(ref) {
+						t.Fatalf("%v proto %v seed %d op %d: stats %v vs %v", kind, proto, seed, i, dirStats(fast), dirStats(ref))
+					}
+					if fast.Entries() != ref.Entries() {
+						t.Fatalf("%v proto %v seed %d op %d: entries diverged", kind, proto, seed, i)
+					}
 				}
-				switch rng.Uint64n(8) {
-				case 0, 1, 2: // read miss (legal only when absent)
-					if st != cache.Invalid {
-						continue
-					}
-					oo := open.Read(l, c)
-					ro := ref.Read(l, c)
-					if oo != ro {
-						t.Fatalf("proto %v seed %d op %d: Read %+v vs %+v", proto, seed, i, oo, ro)
-					}
-				case 3, 4: // write or upgrade
-					oo := open.WriteMask(l, c)
-					ro := ref.WriteMask(l, c)
-					if oo != ro {
-						t.Fatalf("proto %v seed %d op %d: WriteMask %+v vs %+v", proto, seed, i, oo, ro)
-					}
-				case 5: // evict (legal only when held)
-					if st == cache.Invalid {
-						continue
-					}
-					oo := open.Evict(l, c)
-					ro := ref.Evict(l, c)
-					if oo != ro {
-						t.Fatalf("proto %v seed %d op %d: Evict %+v vs %+v", proto, seed, i, oo, ro)
-					}
-				case 6: // silent E->M upgrade (legal only for the E owner)
-					if st != cache.Exclusive {
-						continue
-					}
-					open.MarkDirty(l, c)
-					ref.MarkDirty(l, c)
-				case 7: // queries
-					if open.SharersMask(l) != ref.SharersMask(l) || open.Owner(l) != ref.Owner(l) {
-						t.Fatalf("proto %v seed %d op %d: query diverged", proto, seed, i)
-					}
+				if msg := fast.CheckInvariants(); msg != "" {
+					t.Fatalf("%v proto %v seed %d: invariants: %s", kind, proto, seed, msg)
 				}
-				if dirStats(open) != dirStats(ref) {
-					t.Fatalf("proto %v seed %d op %d: stats %v vs %v", proto, seed, i, dirStats(open), dirStats(ref))
-				}
-				if open.Entries() != ref.Entries() {
-					t.Fatalf("proto %v seed %d op %d: entries diverged", proto, seed, i)
-				}
-			}
-			if msg := open.CheckInvariants(); msg != "" {
-				t.Fatalf("proto %v seed %d: open invariants: %s", proto, seed, msg)
 			}
 		}
 	}

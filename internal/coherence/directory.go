@@ -46,12 +46,73 @@ func (p Protocol) String() string {
 // MemorySource marks data supplied by main memory rather than a peer cache.
 const MemorySource = -1
 
-// entry is the compact per-line directory state. At most one core holds the
-// line in a non-Shared state (the owner); every other holder is Shared.
-type entry struct {
-	mask       uint32      // bit c set: core c holds the line
-	owner      int8        // core holding E/M/O, or -1
-	ownerState cache.State // Exclusive, Modified or Owned when owner >= 0
+// entry is the packed per-line directory state: bits 0-31 the sharer mask
+// (bit c: core c holds the line), bits 32-37 the owner + 1 (0 = no
+// owner), bits 38-39 the owner's state code (E/O/M) — full 32-core
+// width, so the open and map stores serve any legal core count. At most
+// one core holds the line in a non-Shared state (the owner); every other
+// holder is Shared. Storing the packed word keeps the hot mutations
+// single word ops; the quotient store re-packs the word into its 23-bit
+// value field at its boundary (exact within quotMaxCores, which
+// NewDirectoryWithStore gates).
+type entry uint64
+
+const (
+	dirOwnerShift = 32                    // owner+1 field
+	dirStateShift = 38                    // owner-state code field
+	dirOwnerClear = 0xFF << dirOwnerShift // clears owner and state together
+)
+
+// dirStateOf decodes a state code; dirCodeOf encodes one. Only E, O and M
+// are representable — exactly the states an owner may hold.
+var dirStateOf = [4]cache.State{cache.Invalid, cache.Exclusive, cache.Owned, cache.Modified}
+
+func dirCodeOf(st cache.State) uint64 {
+	switch st {
+	case cache.Exclusive:
+		return 1
+	case cache.Owned:
+		return 2
+	case cache.Modified:
+		return 3
+	default:
+		return 0
+	}
+}
+
+func dirEntry(mask uint32, owner int, ownerState cache.State) entry {
+	w := uint64(mask) | uint64(owner+1)<<dirOwnerShift
+	if owner >= 0 {
+		w |= dirCodeOf(ownerState) << dirStateShift
+	}
+	return entry(w)
+}
+
+func (e entry) mask() uint32            { return uint32(e) }
+func (e entry) owner() int              { return int(e>>dirOwnerShift&0x3F) - 1 }
+func (e entry) ownerState() cache.State { return dirStateOf[e>>dirStateShift&3] }
+
+// setOwnerState swaps the state code, leaving mask and owner in place.
+func (e *entry) setOwnerState(st cache.State) {
+	*e = *e&^(3<<dirStateShift) | entry(dirCodeOf(st))<<dirStateShift
+}
+
+// clearOwner drops the owner and its state code (owner -> -1).
+func (e *entry) clearOwner() { *e &^= dirOwnerClear }
+
+// packValue/unpackValue are the quotient table's 23-bit value contract
+// (see quot.go): a 16-bit mask, 5-bit owner+1, 2-bit state re-packing,
+// exact for the <=quotMaxCores systems the quotient store accepts.
+func (e entry) packValue() uint64 {
+	return uint64(e)&(1<<quotMaxCores-1) |
+		uint64(e)>>dirOwnerShift&0x3F<<quotMaxCores |
+		uint64(e)>>dirStateShift&3<<(quotMaxCores+5)
+}
+
+func (entry) unpackValue(w uint64) entry {
+	return entry(w&(1<<quotMaxCores-1) |
+		w>>quotMaxCores&0x1F<<dirOwnerShift |
+		w>>(quotMaxCores+5)&3<<dirStateShift)
 }
 
 // Directory is the coherence directory for a private-LLC system with up to
@@ -71,20 +132,28 @@ type Directory struct {
 }
 
 // NewDirectory builds a directory for the given core count and protocol on
-// the default open-addressed line table.
+// the default line table for the core count (quotient-compressed up to 16
+// cores, open full-key beyond).
 func NewDirectory(cores int, protocol Protocol) *Directory {
-	return NewDirectoryWithStore(cores, protocol, OpenTable)
+	return NewDirectoryWithStore(cores, protocol, DefaultStore(cores))
 }
 
 // NewDirectoryWithStore builds a directory on an explicit store
-// implementation; the differential test drives OpenTable against MapStore
-// to prove operation-for-operation equality.
+// implementation; the differential test drives the table stores against
+// MapStore to prove operation-for-operation equality.
 func NewDirectoryWithStore(cores int, protocol Protocol, kind StoreKind) *Directory {
 	if cores <= 0 || cores > 32 {
 		panic(fmt.Sprintf("coherence: core count %d outside [1,32]", cores))
 	}
+	if kind == QuotTable && cores > quotMaxCores {
+		panic(fmt.Sprintf("coherence: quotient store packs a %d-core sharer mask; %d cores need OpenTable",
+			quotMaxCores, cores))
+	}
 	return &Directory{protocol: protocol, cores: cores, entries: newHotStore[entry](kind)}
 }
+
+// BytesPerSlot reports the inline footprint of one line-table slot.
+func (d *Directory) BytesPerSlot() int { return d.entries.bytesPerSlot() }
 
 // Protocol returns the configured protocol.
 func (d *Directory) Protocol() Protocol { return d.protocol }
@@ -102,11 +171,11 @@ func (d *Directory) check(core int) {
 func (d *Directory) StateOf(line mem.LineAddr, core int) cache.State {
 	d.check(core)
 	e, ok := d.entries.get(line)
-	if !ok || e.mask&(1<<uint(core)) == 0 {
+	if !ok || e.mask()&(1<<uint(core)) == 0 {
 		return cache.Invalid
 	}
-	if int(e.owner) == core {
-		return e.ownerState
+	if e.owner() == core {
+		return e.ownerState()
 	}
 	return cache.Shared
 }
@@ -117,7 +186,7 @@ func (d *Directory) SharersMask(line mem.LineAddr) uint32 {
 	if !ok {
 		return 0
 	}
-	return e.mask
+	return e.mask()
 }
 
 // Sharers returns the cores holding the line, in ascending order.
@@ -131,7 +200,7 @@ func (d *Directory) Owner(line mem.LineAddr) int {
 	if !ok {
 		return -1
 	}
-	return int(e.owner)
+	return e.owner()
 }
 
 // ReadOutcome describes how a read miss is satisfied.
@@ -154,27 +223,27 @@ func (d *Directory) Read(line mem.LineAddr, requester int) ReadOutcome {
 	d.Reads++
 	bit := uint32(1) << uint(requester)
 	e := d.entries.ref(line)
-	if e != nil && e.mask&bit != 0 {
+	if e != nil && e.mask()&bit != 0 {
 		panic(fmt.Sprintf("coherence: core %d read-missed line %#x it already holds", requester, uint64(line)))
 	}
 	if e == nil {
 		// No cached copy anywhere: fill Exclusive from memory.
-		d.entries.put(line, entry{mask: bit, owner: int8(requester), ownerState: cache.Exclusive})
+		d.entries.put(line, dirEntry(bit, requester, cache.Exclusive))
 		return ReadOutcome{Source: MemorySource, FillState: cache.Exclusive}
 	}
 
 	out := ReadOutcome{FillState: cache.Shared}
-	if e.owner >= 0 {
-		out.Source = int(e.owner)
+	if ow := e.owner(); ow >= 0 {
+		out.Source = ow
 		d.Forwards++
-		switch e.ownerState {
+		switch e.ownerState() {
 		case cache.Modified:
 			if d.protocol == MOESI {
 				// M -> O: dirty data forwarded, memory untouched.
-				e.ownerState = cache.Owned
+				e.setOwnerState(cache.Owned)
 			} else {
 				// MESI: M -> S with a writeback to memory.
-				e.owner = -1
+				e.clearOwner()
 				out.MemWriteback = true
 				d.MemWritebacks++
 			}
@@ -182,18 +251,19 @@ func (d *Directory) Read(line mem.LineAddr, requester int) ReadOutcome {
 			// Owner keeps O and keeps answering.
 		case cache.Exclusive:
 			// Clean forward; E degenerates to S.
-			e.owner = -1
+			e.clearOwner()
 		default:
-			panic(fmt.Sprintf("coherence: owner in state %v", e.ownerState))
+			panic(fmt.Sprintf("coherence: owner in state %v", e.ownerState()))
 		}
 	} else {
 		// All copies Shared: the nearest sharer forwards. Source selection
 		// (which sharer) is a timing decision; report the lowest-numbered
 		// one and let the caller pick by distance via Sharers.
-		out.Source = firstSet(e.mask)
+		out.Source = firstSet(e.mask())
 		d.Forwards++
 	}
-	e.mask |= bit
+	*e |= entry(bit)
+	d.entries.sync()
 	return out
 }
 
@@ -220,25 +290,27 @@ func (d *Directory) WriteMask(line mem.LineAddr, requester int) WriteMaskOutcome
 	e := d.entries.ref(line)
 	out := WriteMaskOutcome{Source: MemorySource}
 	if e != nil {
-		if e.mask&bit != 0 {
+		mask := e.mask()
+		if mask&bit != 0 {
 			out.Upgrade = true
 			out.Source = requester
 			d.Upgrades++
-		} else if e.owner >= 0 {
+		} else if ow := e.owner(); ow >= 0 {
 			// Dirty or exclusive peer copy: it forwards then invalidates.
-			out.Source = int(e.owner)
+			out.Source = ow
 			d.Forwards++
-		} else if e.mask != 0 {
+		} else if mask != 0 {
 			// Clean shared copies: one forwards, all invalidate.
-			out.Source = firstSet(e.mask)
+			out.Source = firstSet(mask)
 			d.Forwards++
 		}
-		out.InvalidatedMask = e.mask &^ bit
+		out.InvalidatedMask = mask &^ bit
 		d.Invalidations += uint64(bits.OnesCount32(out.InvalidatedMask))
-		*e = entry{mask: bit, owner: int8(requester), ownerState: cache.Modified}
+		*e = dirEntry(bit, requester, cache.Modified)
+		d.entries.sync()
 		return out
 	}
-	d.entries.put(line, entry{mask: bit, owner: int8(requester), ownerState: cache.Modified})
+	d.entries.put(line, dirEntry(bit, requester, cache.Modified))
 	return out
 }
 
@@ -276,20 +348,22 @@ func (d *Directory) Evict(line mem.LineAddr, core int) EvictOutcome {
 	d.check(core)
 	bit := uint32(1) << uint(core)
 	e := d.entries.ref(line)
-	if e == nil || e.mask&bit == 0 {
+	if e == nil || e.mask()&bit == 0 {
 		panic(fmt.Sprintf("coherence: core %d evicted line %#x it does not hold", core, uint64(line)))
 	}
 	var out EvictOutcome
-	if int(e.owner) == core {
-		if e.ownerState.Dirty() {
+	if e.owner() == core {
+		if e.ownerState().Dirty() {
 			out.MemWriteback = true
 			d.MemWritebacks++
 		}
-		e.owner = -1
+		e.clearOwner()
 	}
-	e.mask &^= bit
-	if e.mask == 0 {
+	*e &^= entry(bit)
+	if e.mask() == 0 {
 		d.entries.del(line)
+	} else {
+		d.entries.sync()
 	}
 	return out
 }
@@ -301,11 +375,12 @@ func (d *Directory) Evict(line mem.LineAddr, core int) EvictOutcome {
 func (d *Directory) MarkDirty(line mem.LineAddr, core int) {
 	d.check(core)
 	e := d.entries.ref(line)
-	if e == nil || int(e.owner) != core {
+	if e == nil || e.owner() != core {
 		panic(fmt.Sprintf("coherence: MarkDirty by non-owner core %d on line %#x", core, uint64(line)))
 	}
-	if e.ownerState == cache.Exclusive {
-		e.ownerState = cache.Modified
+	if e.ownerState() == cache.Exclusive {
+		e.setOwnerState(cache.Modified)
+		d.entries.sync()
 	}
 }
 
@@ -317,26 +392,27 @@ func (d *Directory) CheckInvariants() string {
 		if msg != "" {
 			return
 		}
-		if e.mask == 0 {
+		mask, owner := e.mask(), e.owner()
+		if mask == 0 {
 			msg = fmt.Sprintf("line %#x: empty entry retained", uint64(line))
 			return
 		}
-		if e.owner >= 0 {
-			if e.mask&(1<<uint(e.owner)) == 0 {
-				msg = fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+		if owner >= 0 {
+			if mask&(1<<uint(owner)) == 0 {
+				msg = fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), owner)
 				return
 			}
-			switch e.ownerState {
+			switch st := e.ownerState(); st {
 			case cache.Exclusive, cache.Modified:
-				if e.mask != 1<<uint(e.owner) {
-					msg = fmt.Sprintf("line %#x: %v owner with other sharers", uint64(line), e.ownerState)
+				if mask != 1<<uint(owner) {
+					msg = fmt.Sprintf("line %#x: %v owner with other sharers", uint64(line), st)
 				}
 			case cache.Owned:
 				if d.protocol == MESI {
 					msg = fmt.Sprintf("line %#x: O state under MESI", uint64(line))
 				}
 			default:
-				msg = fmt.Sprintf("line %#x: bad owner state %v", uint64(line), e.ownerState)
+				msg = fmt.Sprintf("line %#x: bad owner state %v", uint64(line), st)
 			}
 		}
 	})

@@ -27,26 +27,62 @@ type SnoopFilter struct {
 	Invalidations uint64
 }
 
-type l1entry struct {
-	mask  uint32 // bit c: core c's L1 holds the line
-	owner int8   // L1 holding the line modified, or -1
+// l1entry is the packed per-line filter state: bits 0-31 the holder mask
+// (bit c: core c's L1 holds the line), bits 32-37 the dirty owner + 1
+// (0 = clean) — full 32-core width, so the open and map stores serve any
+// legal core count. Storing the already-packed word — rather than a
+// struct the compressed store would have to re-encode — keeps the hot
+// mutations single word ops; the quotient store compresses the word into
+// its 23-bit value field at its boundary (possible exactly when the
+// filter is within quotMaxCores, which NewSnoopFilterWithStore gates).
+type l1entry uint64
+
+const l1ownerShift = 32 // owner+1 field sits above the full-width mask
+
+func snoopEntry(mask uint32, owner int) l1entry {
+	return l1entry(uint64(mask) | uint64(owner+1)<<l1ownerShift)
 }
 
-// NewSnoopFilter builds a filter for up to 32 cores on the default
-// open-addressed line table.
+func (e l1entry) mask() uint32 { return uint32(e) }
+func (e l1entry) owner() int   { return int(e>>l1ownerShift&0x3F) - 1 }
+
+// packValue/unpackValue are the quotient table's 23-bit value contract
+// (see quot.go): a 16-bit mask plus 5-bit owner+1 re-packing, exact for
+// the <=quotMaxCores systems the quotient store accepts.
+func (e l1entry) packValue() uint64 {
+	return uint64(e)&(1<<quotMaxCores-1) | e.ownerField()<<quotMaxCores
+}
+
+func (l1entry) unpackValue(w uint64) l1entry {
+	return l1entry(w&(1<<quotMaxCores-1) | w>>quotMaxCores&0x1F<<l1ownerShift)
+}
+
+// ownerField returns the raw owner+1 bits.
+func (e l1entry) ownerField() uint64 { return uint64(e) >> l1ownerShift & 0x3F }
+
+// NewSnoopFilter builds a filter for up to 32 cores on the default line
+// table for the core count (quotient-compressed up to 16 cores, open
+// full-key beyond).
 func NewSnoopFilter(cores int) *SnoopFilter {
-	return NewSnoopFilterWithStore(cores, OpenTable)
+	return NewSnoopFilterWithStore(cores, DefaultStore(cores))
 }
 
 // NewSnoopFilterWithStore builds a filter on an explicit store
-// implementation; the differential test drives OpenTable against MapStore
-// to prove operation-for-operation equality.
+// implementation; the differential test drives the table stores against
+// MapStore to prove operation-for-operation equality.
 func NewSnoopFilterWithStore(cores int, kind StoreKind) *SnoopFilter {
 	if cores <= 0 || cores > 32 {
 		panic(fmt.Sprintf("coherence: core count %d outside [1,32]", cores))
 	}
+	if kind == QuotTable && cores > quotMaxCores {
+		panic(fmt.Sprintf("coherence: quotient store packs a %d-core sharer mask; %d cores need OpenTable",
+			quotMaxCores, cores))
+	}
 	return &SnoopFilter{cores: cores, entries: newHotStore[l1entry](kind)}
 }
+
+// BytesPerSlot reports the inline footprint of one line-table slot.
+func (f *SnoopFilter) BytesPerSlot() int { return f.entries.bytesPerSlot() }
 
 func (f *SnoopFilter) check(core int) {
 	if core < 0 || core >= f.cores {
@@ -60,7 +96,7 @@ func (f *SnoopFilter) HoldersMask(line mem.LineAddr) uint32 {
 	if !ok {
 		return 0
 	}
-	return e.mask
+	return e.mask()
 }
 
 // Holders returns the cores whose L1s hold the line.
@@ -74,7 +110,7 @@ func (f *SnoopFilter) DirtyOwner(line mem.LineAddr) int {
 	if !ok {
 		return -1
 	}
-	return int(e.owner)
+	return e.owner()
 }
 
 // Read records core's L1 fetching the line for reading. If another L1 holds
@@ -85,16 +121,17 @@ func (f *SnoopFilter) Read(line mem.LineAddr, core int) (forwarder int, dirtied 
 	f.check(core)
 	forwarder = -1
 	if e := f.entries.ref(line); e != nil {
-		if e.owner >= 0 && int(e.owner) != core {
-			forwarder = int(e.owner)
+		if ow := e.owner(); ow >= 0 && ow != core {
+			forwarder = ow
 			dirtied = true
-			e.owner = -1
+			*e &^= 0x3F << l1ownerShift // owner -> -1
 			f.Forwards++
 		}
-		e.mask |= 1 << uint(core)
+		*e |= 1 << uint(core)
+		f.entries.sync()
 		return forwarder, dirtied
 	}
-	f.entries.put(line, l1entry{mask: 1 << uint(core), owner: -1})
+	f.entries.put(line, snoopEntry(1<<uint(core), -1))
 	return forwarder, dirtied
 }
 
@@ -106,16 +143,17 @@ func (f *SnoopFilter) Read(line mem.LineAddr, core int) (forwarder int, dirtied 
 func (f *SnoopFilter) WriteMask(line mem.LineAddr, core int) (invalidated uint32, dirtied bool) {
 	f.check(core)
 	if e := f.entries.ref(line); e != nil {
-		if e.owner >= 0 && int(e.owner) != core {
+		if ow := e.owner(); ow >= 0 && ow != core {
 			dirtied = true
 			f.Forwards++
 		}
-		invalidated = e.mask &^ (1 << uint(core))
+		invalidated = e.mask() &^ (1 << uint(core))
 		f.Invalidations += uint64(bits.OnesCount32(invalidated))
-		*e = l1entry{mask: 1 << uint(core), owner: int8(core)}
+		*e = snoopEntry(1<<uint(core), core)
+		f.entries.sync()
 		return invalidated, dirtied
 	}
-	f.entries.put(line, l1entry{mask: 1 << uint(core), owner: int8(core)})
+	f.entries.put(line, snoopEntry(1<<uint(core), core))
 	return invalidated, dirtied
 }
 
@@ -130,17 +168,19 @@ func (f *SnoopFilter) Write(line mem.LineAddr, core int) (invalidated []int, dir
 func (f *SnoopFilter) Evict(line mem.LineAddr, core int, dirty bool) {
 	f.check(core)
 	e := f.entries.ref(line)
-	if e == nil || e.mask&(1<<uint(core)) == 0 {
+	if e == nil || e.mask()&(1<<uint(core)) == 0 {
 		// The LLC may have silently dropped tracking (non-inclusive); an
 		// unknown eviction is legal and ignored.
 		return
 	}
-	if int(e.owner) == core {
-		e.owner = -1
+	if e.owner() == core {
+		*e &^= 0x3F << l1ownerShift // owner -> -1
 	}
-	e.mask &^= 1 << uint(core)
-	if e.mask == 0 {
+	*e &^= 1 << uint(core)
+	if e.mask() == 0 {
 		f.entries.del(line)
+	} else {
+		f.entries.sync()
 	}
 	_ = dirty // data movement is the LLC's concern; tracking only here
 }
@@ -169,7 +209,7 @@ func (f *SnoopFilter) Entries() int { return f.entries.size() }
 // Hierarchies use it to cross-check tracking against actual cache contents.
 func (f *SnoopFilter) ForEachEntry(fn func(line mem.LineAddr, mask uint32, owner int)) {
 	f.entries.forEach(func(line mem.LineAddr, e l1entry) {
-		fn(line, e.mask, int(e.owner))
+		fn(line, e.mask(), e.owner())
 	})
 }
 
@@ -180,16 +220,17 @@ func (f *SnoopFilter) CheckInvariants() string {
 		if msg != "" {
 			return
 		}
-		if e.mask == 0 {
+		mask, owner := e.mask(), e.owner()
+		if mask == 0 {
 			msg = fmt.Sprintf("line %#x: empty entry retained", uint64(line))
 			return
 		}
-		if e.owner >= 0 {
-			if e.mask&(1<<uint(e.owner)) == 0 {
-				msg = fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), e.owner)
+		if owner >= 0 {
+			if mask&(1<<uint(owner)) == 0 {
+				msg = fmt.Sprintf("line %#x: owner %d not in mask", uint64(line), owner)
 				return
 			}
-			if e.mask != 1<<uint(e.owner) {
+			if mask != 1<<uint(owner) {
 				msg = fmt.Sprintf("line %#x: dirty owner with other sharers", uint64(line))
 			}
 		}

@@ -7,28 +7,39 @@ import (
 )
 
 // lineStore is the per-line state storage both coherence substrates sit
-// on: a map from line address to an inline value. Two implementations
-// exist — openTable (the fast path: open-addressed, power-of-two, linear
-// probing) and mapStore (the reference: a plain Go map) — and a randomized
-// differential test (differential_test.go) proves a SnoopFilter or
-// Directory built on either returns identical results and stats for every
-// operation. Iteration order of forEach is unspecified for both, and no
+// on: a map from line address to an inline value. Three implementations
+// exist — quotTable (the default fast path: quotient-key-compressed
+// 8 B/slot open addressing, quot.go), openTable (the full-key 16 B/slot
+// table, also the fallback above quotTable's core-count budget) and
+// mapStore (the reference: a plain Go map) — and randomized differential
+// tests (differential_test.go) prove a SnoopFilter or Directory built on
+// any of them returns identical results and stats for every operation.
+// Iteration order of forEach is unspecified for all three, and no
 // simulation result may depend on it (the determinism contract,
-// DESIGN.md §7).
-type lineStore[V any] interface {
+// DESIGN.md §7 and §8).
+type lineStore[V lineValue[V]] interface {
 	// get returns the value for the line and whether it is present.
 	get(line mem.LineAddr) (V, bool)
-	// ref returns a pointer to the line's live value for in-place
-	// mutation, or nil when absent — one probe for the get-modify-write
-	// pattern where get+put would pay two. The pointer is valid only
-	// until the next put/del on the store.
+	// ref returns a pointer to the line's value for mutation, or nil when
+	// absent — one probe for the get-modify-write pattern where get+put
+	// would pay two. Mutations land in the store once sync is called
+	// (compressed stores hand out an unpacked scratch copy; the others
+	// point straight at live storage and their sync is a no-op). The
+	// pointer and the pending sync are valid only until the next put/del.
 	ref(line mem.LineAddr) *V
+	// sync writes back the value last obtained from ref. Calling it with
+	// no ref outstanding is undefined; callers pair every mutating ref
+	// with exactly one sync (or a del of the same line).
+	sync()
 	// put inserts or overwrites the value for the line.
 	put(line mem.LineAddr, v V)
 	// del removes the line; absent lines are a no-op.
 	del(line mem.LineAddr)
 	// size returns the number of stored lines.
 	size() int
+	// bytesPerSlot reports the inline bytes one table slot occupies (0 for
+	// the map reference, whose layout is runtime-managed).
+	bytesPerSlot() int
 	// forEach visits every stored line in unspecified order. fn must not
 	// mutate the store.
 	forEach(fn func(line mem.LineAddr, v V))
@@ -39,46 +50,84 @@ type lineStore[V any] interface {
 type StoreKind uint8
 
 const (
-	// OpenTable is the default open-addressed table (table.go).
+	// OpenTable is the full-key open-addressed table (table.go).
 	OpenTable StoreKind = iota
 	// MapStore is the Go-map reference implementation.
 	MapStore
+	// QuotTable is the quotient-key-compressed table (quot.go): 8 B/slot,
+	// supporting up to quotMaxCores cores.
+	QuotTable
 )
 
 func (k StoreKind) String() string {
-	if k == MapStore {
+	switch k {
+	case MapStore:
 		return "map"
+	case QuotTable:
+		return "quot-table"
+	default:
+		return "open-table"
 	}
-	return "open-table"
 }
 
-func newLineStore[V any](kind StoreKind) lineStore[V] {
+// BytesPerSlot reports the inline bytes one slot of the kind's table
+// occupies (0 for the map reference, whose layout is runtime-managed).
+func (k StoreKind) BytesPerSlot() int {
+	switch k {
+	case QuotTable:
+		return 8
+	case OpenTable:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// DefaultStore returns the store kind the default constructors use: the
+// quotient-compressed table where its sharer-mask budget allows, else the
+// full-key open table.
+func DefaultStore(cores int) StoreKind {
+	if cores <= quotMaxCores {
+		return QuotTable
+	}
+	return OpenTable
+}
+
+func newLineStore[V lineValue[V]](kind StoreKind) lineStore[V] {
 	switch kind {
 	case OpenTable:
 		return newOpenTable[V]()
 	case MapStore:
 		return mapStore[V]{}
+	case QuotTable:
+		return newQuotTable[V]()
 	default:
 		panic(fmt.Sprintf("coherence: unknown store kind %d", kind))
 	}
 }
 
 // hotStore pairs the lineStore interface with a devirtualized fast path:
-// when the store is the open table, hot operations call it directly
-// (avoiding the interface dispatch the Go compiler cannot inline through);
-// the interface remains the contract and the map reference's entry point.
-type hotStore[V any] struct {
+// when the store is the quotient or open table, hot operations call it
+// directly (avoiding the interface dispatch the Go compiler cannot inline
+// through); the interface remains the contract and the map reference's
+// entry point.
+type hotStore[V lineValue[V]] struct {
 	lineStore[V]
-	fast *openTable[V] // non-nil iff lineStore is the open table
+	fastQ *quotTable[V] // non-nil iff lineStore is the quotient table
+	fast  *openTable[V] // non-nil iff lineStore is the open table
 }
 
-func newHotStore[V any](kind StoreKind) hotStore[V] {
+func newHotStore[V lineValue[V]](kind StoreKind) hotStore[V] {
 	s := newLineStore[V](kind)
 	fast, _ := s.(*openTable[V])
-	return hotStore[V]{lineStore: s, fast: fast}
+	fastQ, _ := s.(*quotTable[V])
+	return hotStore[V]{lineStore: s, fast: fast, fastQ: fastQ}
 }
 
 func (h hotStore[V]) get(line mem.LineAddr) (V, bool) {
+	if h.fastQ != nil {
+		return h.fastQ.get(line)
+	}
 	if h.fast != nil {
 		return h.fast.get(line)
 	}
@@ -86,13 +135,31 @@ func (h hotStore[V]) get(line mem.LineAddr) (V, bool) {
 }
 
 func (h hotStore[V]) ref(line mem.LineAddr) *V {
+	if h.fastQ != nil {
+		return h.fastQ.ref(line)
+	}
 	if h.fast != nil {
 		return h.fast.ref(line)
 	}
 	return h.lineStore.ref(line)
 }
 
+func (h hotStore[V]) sync() {
+	if h.fastQ != nil {
+		h.fastQ.sync()
+		return
+	}
+	if h.fast != nil {
+		return // open-table refs mutate live storage directly
+	}
+	h.lineStore.sync()
+}
+
 func (h hotStore[V]) put(line mem.LineAddr, v V) {
+	if h.fastQ != nil {
+		h.fastQ.put(line, v)
+		return
+	}
 	if h.fast != nil {
 		h.fast.put(line, v)
 		return
@@ -101,6 +168,10 @@ func (h hotStore[V]) put(line mem.LineAddr, v V) {
 }
 
 func (h hotStore[V]) del(line mem.LineAddr) {
+	if h.fastQ != nil {
+		h.fastQ.del(line)
+		return
+	}
 	if h.fast != nil {
 		h.fast.del(line)
 		return
@@ -121,6 +192,8 @@ func (m mapStore[V]) get(line mem.LineAddr) (V, bool) {
 }
 
 func (m mapStore[V]) ref(line mem.LineAddr) *V { return m[line] }
+func (m mapStore[V]) sync()                    {} // refs mutate the boxed value directly
+func (m mapStore[V]) bytesPerSlot() int        { return 0 }
 
 func (m mapStore[V]) put(line mem.LineAddr, v V) {
 	if p, ok := m[line]; ok {
@@ -197,7 +270,9 @@ func home(key, mask uint64) uint64 {
 	return (key * 0x9E3779B97F4A7C15) >> 32 & mask
 }
 
-func (t *openTable[V]) size() int { return t.n + t.oldN }
+func (t *openTable[V]) size() int         { return t.n + t.oldN }
+func (t *openTable[V]) sync()             {} // refs mutate live slots directly
+func (t *openTable[V]) bytesPerSlot() int { return 16 }
 
 func (t *openTable[V]) get(line mem.LineAddr) (V, bool) {
 	if p := t.ref(line); p != nil {

@@ -100,8 +100,7 @@ func (h *privateHierarchy) dirLatency(core, home int, line mem.LineAddr, timing 
 }
 
 func (h *privateHierarchy) ifetch(core int, line mem.LineAddr, jump, timing bool) (sim.Cycle, bool) {
-	if w := h.l1i[core].Probe(line); w != cache.NoWay {
-		h.l1i[core].TouchWay(w)
+	if w := h.l1i[core].ProbeTouch(line); w != cache.NoWay {
 		return 0, true
 	}
 	if !jump {
@@ -128,8 +127,7 @@ func (h *privateHierarchy) fillIFetch(core int, line mem.LineAddr, timing bool) 
 func (h *privateHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemporal, timing bool) (sim.Cycle, bool) {
 	line := addr.Line()
 
-	if w := h.l1d[core].Probe(line); w != cache.NoWay {
-		h.l1d[core].TouchWay(w)
+	if w := h.l1d[core].ProbeTouch(line); w != cache.NoWay {
 		if !write {
 			return 0, true
 		}
@@ -160,7 +158,6 @@ func (h *privateHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTem
 	}
 
 	if w := probeL2(h.l2, core, line); w != cache.NoWay {
-		h.l2[core].TouchWay(w)
 		l1w := h.fillL1D(core, line)
 		lat := h.sys.cfg.L2Latency
 		if !timing {
@@ -227,7 +224,9 @@ func (h *privateHierarchy) localWriteHit(core int, line mem.LineAddr, rwShared, 
 		h.st.WritesPrivate++
 	}
 	h.st.LocalHits++
-	h.vaultArr[core].Touch(line)
+	if w := h.vaultArr[core].Probe(line); w != cache.NoWay {
+		h.vaultArr[core].TouchWay(w)
+	}
 	if !timing {
 		return 0
 	}
@@ -266,6 +265,9 @@ func (h *privateHierarchy) readVaultPath(core int, line mem.LineAddr, rwShared, 
 	h.st.LLCAccesses++
 	h.st.Reads++
 
+	// Probe + TouchWay rather than the fused ProbeTouch: the vault is
+	// direct-mapped in every paper configuration, so both calls inline and
+	// the touch vanishes into a predicted branch.
 	w := h.vaultArr[core].Probe(line)
 	var lat sim.Cycle
 	if w != cache.NoWay {
@@ -310,7 +312,9 @@ func (h *privateHierarchy) readVaultPath(core int, line mem.LineAddr, rwShared, 
 				h.sys.mesh.Latency(out.Source, core)
 			h.st.VaultAccesses++
 		}
-		h.vaultArr[out.Source].Touch(line)
+		if w := h.vaultArr[out.Source].Probe(line); w != cache.NoWay {
+			h.vaultArr[out.Source].TouchWay(w)
+		}
 	}
 
 	h.fillVaultAt(core, line, timing)
@@ -402,8 +406,7 @@ func (h *privateHierarchy) fillL1D(core int, line mem.LineAddr) cache.Way {
 }
 
 func (h *privateHierarchy) insertL2(core int, line mem.LineAddr) {
-	if w := h.l2[core].Probe(line); w != cache.NoWay {
-		h.l2[core].TouchWay(w)
+	if w := h.l2[core].ProbeTouch(line); w != cache.NoWay {
 		return
 	}
 	h.l2[core].InsertAt(line, cache.Shared)

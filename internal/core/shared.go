@@ -80,13 +80,14 @@ func newSharedHierarchy(sys *System) *sharedHierarchy {
 
 func (h *sharedHierarchy) stats() Stats { return h.st }
 
-// probeL2 probes an optional-L2 level, reporting a miss when the level is
+// probeL2 probes an optional-L2 level (touching on a hit — both data
+// paths treat an L2 hit as a use), reporting a miss when the level is
 // absent. Shared by both hierarchies' data paths.
 func probeL2(l2 []*cache.Array, core int, line mem.LineAddr) cache.Way {
 	if l2 == nil {
 		return cache.NoWay
 	}
-	return l2[core].Probe(line)
+	return l2[core].ProbeTouch(line)
 }
 
 // bankOf address-interleaves lines across the LLC banks.
@@ -114,8 +115,7 @@ func (h *sharedHierarchy) llcLatency(core, bank int, line mem.LineAddr, timing b
 // ifetch: instruction lines are read-only and never tracked by the snoop
 // filter (no store ever targets the code region).
 func (h *sharedHierarchy) ifetch(core int, line mem.LineAddr, jump, timing bool) (sim.Cycle, bool) {
-	if w := h.l1i[core].Probe(line); w != cache.NoWay {
-		h.l1i[core].TouchWay(w)
+	if w := h.l1i[core].ProbeTouch(line); w != cache.NoWay {
 		return 0, true
 	}
 	if !jump {
@@ -135,8 +135,7 @@ func (h *sharedHierarchy) fillIFetch(core int, line mem.LineAddr, timing bool) s
 	h.st.LLCAccesses++
 	h.st.Reads++
 	lat := h.llcLatency(core, bank, line, timing)
-	if w := h.banks[bank].Probe(line); w != cache.NoWay {
-		h.banks[bank].TouchWay(w)
+	if w := h.banks[bank].ProbeTouch(line); w != cache.NoWay {
 		h.st.LocalHits++
 	} else {
 		h.st.Misses++
@@ -155,8 +154,7 @@ func (h *sharedHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemp
 	line := addr.Line()
 	cfg := h.sys.cfg
 
-	if w := h.l1d[core].Probe(line); w != cache.NoWay {
-		h.l1d[core].TouchWay(w)
+	if w := h.l1d[core].ProbeTouch(line); w != cache.NoWay {
 		if !write {
 			return 0, true
 		}
@@ -173,7 +171,6 @@ func (h *sharedHierarchy) data(core int, addr mem.Addr, write, rwShared, nonTemp
 	// insert here left the filter believing the victim's old owner still
 	// held it, producing spurious forwards and invalidations.
 	if w := probeL2(h.l2, core, line); w != cache.NoWay {
-		h.l2[core].TouchWay(w)
 		_, ev, evicted := h.l1d[core].InsertAt(line, cache.Shared)
 		if evicted {
 			h.evictPrivate(core, ev.Line)
@@ -217,8 +214,7 @@ func (h *sharedHierarchy) readTransaction(core int, line mem.LineAddr, rwShared,
 		h.st.Forwards++
 	}
 
-	if w := h.banks[bank].Probe(line); w != cache.NoWay {
-		h.banks[bank].TouchWay(w)
+	if w := h.banks[bank].ProbeTouch(line); w != cache.NoWay {
 		if dirtied {
 			h.banks[bank].SetStateWay(w, cache.Modified)
 		}
@@ -265,8 +261,7 @@ func (h *sharedHierarchy) writeTransaction(core int, line mem.LineAddr, rwShared
 		lat += far
 	}
 
-	if w := h.banks[bank].Probe(line); w != cache.NoWay {
-		h.banks[bank].TouchWay(w)
+	if w := h.banks[bank].ProbeTouch(line); w != cache.NoWay {
 		h.banks[bank].SetStateWay(w, cache.Modified)
 		h.st.LocalHits++
 	} else {
@@ -337,8 +332,7 @@ func (h *sharedHierarchy) fillPrivate(core int, line mem.LineAddr) {
 // insertL2 installs a line into the core's L2, releasing the victim's
 // snoop tracking when it is in neither L1 nor L2 afterwards.
 func (h *sharedHierarchy) insertL2(core int, line mem.LineAddr) {
-	if w := h.l2[core].Probe(line); w != cache.NoWay {
-		h.l2[core].TouchWay(w)
+	if w := h.l2[core].ProbeTouch(line); w != cache.NoWay {
 		return
 	}
 	_, ev, evicted := h.l2[core].InsertAt(line, cache.Shared)

@@ -82,9 +82,23 @@ func NewSystem(cfg Config, specs []workload.Spec) *System {
 	s.cores = make([]*cpu.Core, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
 		s.streams[c] = workload.NewStream(perCore[c], c, cfg.Cores, cfg.Scale, cfg.Seed)
-		s.cores[c] = cpu.New(engine, c, cpu.DefaultConfig(), s.streams[c], &coreAdapter{hier: s.hier, core: c})
+		s.cores[c] = cpu.New(engine, c, cpu.DefaultConfig(), s.streams[c], newCoreAdapter(s.hier))
 	}
 	return s
+}
+
+// newCoreAdapter picks the concrete adapter for the hierarchy so the
+// adapter's inner call is direct (devirtualized): each access then pays
+// one interface dispatch (core -> adapter), not two.
+func newCoreAdapter(h hierarchy) cpu.Hierarchy {
+	switch h := h.(type) {
+	case *privateHierarchy:
+		return &privateCoreAdapter{hier: h}
+	case *sharedHierarchy:
+		return &sharedCoreAdapter{hier: h}
+	default:
+		return &coreAdapter{hier: h}
+	}
 }
 
 // Config returns the system configuration.
@@ -97,10 +111,10 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 // translates latencies: completion scheduling lives in the core, which
 // reuses pre-bound callbacks, so a timed access allocates nothing here.
 // The hierarchy is captured directly (not reached through the System) so
-// each access pays one interface dispatch, not a pointer chase plus one.
+// each access pays one interface dispatch, not a pointer chase plus one;
+// the per-hierarchy variants below shave the second dispatch too.
 type coreAdapter struct {
 	hier hierarchy
-	core int
 }
 
 var _ cpu.Hierarchy = (*coreAdapter)(nil)
@@ -111,6 +125,42 @@ func (a *coreAdapter) IFetch(core int, line mem.LineAddr, jump bool) (sim.Cycle,
 }
 
 func (a *coreAdapter) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool) (sim.Cycle, bool) {
+	lat, hit := a.hier.data(core, addr, write, rwShared, nonTemporal, true)
+	return lat, hit && lat == 0
+}
+
+// privateCoreAdapter and sharedCoreAdapter are coreAdapter specialized to
+// a concrete hierarchy: the inner ifetch/data calls are direct, so the
+// compiler devirtualizes what would otherwise be a second indirect call
+// on every simulated access.
+type privateCoreAdapter struct {
+	hier *privateHierarchy
+}
+
+var _ cpu.Hierarchy = (*privateCoreAdapter)(nil)
+
+func (a *privateCoreAdapter) IFetch(core int, line mem.LineAddr, jump bool) (sim.Cycle, bool) {
+	lat, hit := a.hier.ifetch(core, line, jump, true)
+	return lat, hit && lat == 0
+}
+
+func (a *privateCoreAdapter) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool) (sim.Cycle, bool) {
+	lat, hit := a.hier.data(core, addr, write, rwShared, nonTemporal, true)
+	return lat, hit && lat == 0
+}
+
+type sharedCoreAdapter struct {
+	hier *sharedHierarchy
+}
+
+var _ cpu.Hierarchy = (*sharedCoreAdapter)(nil)
+
+func (a *sharedCoreAdapter) IFetch(core int, line mem.LineAddr, jump bool) (sim.Cycle, bool) {
+	lat, hit := a.hier.ifetch(core, line, jump, true)
+	return lat, hit && lat == 0
+}
+
+func (a *sharedCoreAdapter) Data(core int, addr mem.Addr, write, rwShared, independent, nonTemporal bool) (sim.Cycle, bool) {
 	lat, hit := a.hier.data(core, addr, write, rwShared, nonTemporal, true)
 	return lat, hit && lat == 0
 }
@@ -134,11 +184,11 @@ func (s *System) WarmFunctional(instrPerCore int) {
 			st := s.streams[c]
 			for i := 0; i < n; i++ {
 				st.Next(&op)
-				if op.NewIFetchLine != 0 {
-					s.hier.ifetch(c, op.NewIFetchLine, op.Jump, false)
+				if line := op.NewIFetchLine(); line != 0 {
+					s.hier.ifetch(c, line, op.Jump(), false)
 				}
-				if op.IsMem {
-					s.hier.data(c, op.Addr, op.Write, op.RWShared, op.NonTemporal, false)
+				if op.IsMem() {
+					s.hier.data(c, op.Addr(), op.Write(), op.RWShared(), op.NonTemporal(), false)
 				}
 			}
 		}

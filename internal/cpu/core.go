@@ -51,6 +51,14 @@ type Config struct {
 // DefaultConfig is the paper's core at a practical quantum size.
 func DefaultConfig() Config { return Config{Width: 3, Burst: 48} }
 
+// opBatch is the number of ops a core pre-generates per stream refill.
+// One refill runs the trace generator's RNG/threshold chain back to back
+// — the generator state crosses memory once per batch, not once per op —
+// while the buffer stays small enough (16 ops x 16 B = 4 cache lines,
+// reused every refill) to live in the L1 permanently; a larger batch
+// measurably evicts the simulator's own hot arrays on every quantum.
+const opBatch = 16
+
 // Core drives one workload stream through the hierarchy.
 type Core struct {
 	ID     int
@@ -60,29 +68,38 @@ type Core struct {
 	path   Hierarchy
 	mlp    int
 
+	// Pre-generated op batch (stream.NextBatch) the issue loop consumes
+	// from; refilled only when empty, so ops are never dropped. A heap
+	// slice, not an embedded array: the Core's hot scalars must stay
+	// within a couple of cache lines.
+	ops    []workload.Op
+	opNext int
+	opEnd  int
+
+	// Execution state (kept adjacent to the batch cursor: one or two
+	// cache lines cover everything the issue loop touches per op).
+	running     bool
+	haveStalled bool
+	waitAny     bool // blocked because the MLP window is full
+	outstanding int
+	waitToken   uint64 // blocked on this specific request (0 = none)
+	tokens      uint64
+	deferred    sim.Cycle // compute cycles owed when the current block resolves
+
 	// Pre-bound callbacks, allocated once so scheduling completions does
 	// not allocate per access.
 	stepFn     func()
 	resumeFn   func()
 	dataDoneFn func(uint64)
-
-	// Execution state.
-	running     bool
-	outstanding int
-	waitAny     bool   // blocked because the MLP window is full
-	waitToken   uint64 // blocked on this specific request (0 = none)
-	tokens      uint64
-	pendingRun  int       // instructions executed since last cycle charge
-	deferred    sim.Cycle // compute cycles owed when the current block resolves
 	// stalledOp holds the op whose instruction fetch is in flight: the
 	// stream has already produced it, so resume must finish executing it
 	// rather than fetch the next op (dropping it would silently lose one
 	// retirement — and one memory access — per frontend stall).
-	stalledOp   workload.Op
-	haveStalled bool
+	stalledOp workload.Op
 
 	// Statistics.
 	Retired     uint64
+	Consumed    uint64 // ops taken from the batch buffer; every one retires
 	IFetchStall uint64 // blocking ifetch misses
 	DataBlocks  uint64 // blocking data misses
 	Overlapped  uint64 // data misses issued without blocking
@@ -103,6 +120,7 @@ func New(engine *sim.Engine, id int, cfg Config, stream *workload.Stream, path H
 		stream: stream,
 		path:   path,
 		mlp:    stream.Spec().MLP,
+		ops:    make([]workload.Op, opBatch),
 	}
 	c.stepFn = c.step
 	c.resumeFn = c.resume
@@ -125,81 +143,106 @@ func (c *Core) computeCycles(instr int) sim.Cycle {
 }
 
 // step executes instructions until the quantum is exhausted or the core
-// blocks on a memory access.
+// blocks on a memory access. Ops come from the pre-generated batch buffer
+// (refilled via stream.NextBatch when empty — identical op sequence to
+// per-op Next, amortized generation cost), except on resume from an
+// ifetch stall, where the stashed in-flight op finishes first. The
+// per-instruction counters accumulate in locals (registers) and flush
+// once per quantum/block instead of read-modify-writing the Core fields
+// at every instruction.
 func (c *Core) step() {
-	var op workload.Op
+	var retired, consumed uint64
+	run := 0
 	for executed := 0; executed < c.cfg.Burst; executed++ {
+		var op workload.Op
 		if c.haveStalled {
 			// Resuming from an ifetch stall: finish the op whose fetch just
 			// completed instead of consuming a new one.
 			op = c.stalledOp
 			c.haveStalled = false
 		} else {
-			c.stream.Next(&op)
+			if c.opNext == c.opEnd {
+				c.opEnd = c.stream.NextBatch(c.ops)
+				c.opNext = 0
+			}
+			op = c.ops[c.opNext]
+			c.opNext++
+			consumed++
 		}
 
 		// Frontend: a new instruction line may miss the L1-I. Sequential
 		// line transitions are covered by the next-line prefetcher (the
 		// hierarchy still records them); jumps expose the fetch latency
 		// and always block.
-		if op.NewIFetchLine != 0 {
-			if lat, sync := c.path.IFetch(c.ID, op.NewIFetchLine, op.Jump); !sync {
+		if op.IWord != 0 {
+			if lat, sync := c.path.IFetch(c.ID, op.NewIFetchLine(), op.Jump()); !sync {
 				c.IFetchStall++
 				// Stash the op; the fetch completes during the stall, so
-				// clear the line to not re-issue it on resume.
-				op.NewIFetchLine = 0
+				// clear the line to not re-issue it on resume. (A resumed op
+				// has IWord zeroed, so it can never re-enter this branch.)
+				op.IWord = 0
 				c.stalledOp = op
 				c.haveStalled = true
 				c.engine.Schedule(lat, c.resumeFn)
-				c.block()
+				c.flush(retired, consumed)
+				c.block(run)
 				return
 			}
 		}
 
-		c.Retired++
-		c.pendingRun++
+		retired++
+		run++
 
-		if !op.IsMem {
+		if !op.IsMem() {
 			continue
 		}
 		tok := c.tokens + 1
 		c.tokens = tok
-		lat, sync := c.path.Data(c.ID, op.Addr, op.Write, op.RWShared, op.Independent, op.NonTemporal)
+		indep := op.Independent()
+		lat, sync := c.path.Data(c.ID, op.Addr(), op.Write(), op.RWShared(), indep, op.NonTemporal())
 		if sync {
 			continue
 		}
 		c.engine.ScheduleArg(lat, c.dataDoneFn, tok)
 		c.outstanding++
 		switch {
-		case !op.Independent:
+		case !indep:
 			// The next instruction needs this value: block on it.
 			c.DataBlocks++
 			c.waitToken = tok
-			c.block()
+			c.flush(retired, consumed)
+			c.block(run)
 			return
 		case c.outstanding >= c.mlp:
 			// MLP window full: block until any completion.
 			c.DataBlocks++
 			c.waitAny = true
-			c.block()
+			c.flush(retired, consumed)
+			c.block(run)
 			return
 		default:
 			c.Overlapped++
 		}
 	}
 	// Quantum exhausted without blocking: charge its compute time.
-	run := c.pendingRun
-	c.pendingRun = 0
+	c.flush(retired, consumed)
 	c.engine.Schedule(c.computeCycles(run), c.stepFn)
+}
+
+// flush folds a quantum's locally-accumulated counters into the Core
+// fields; every exit from step passes through it, so the fields are
+// consistent whenever the engine is between events.
+func (c *Core) flush(retired, consumed uint64) {
+	c.Retired += retired
+	c.Consumed += consumed
 }
 
 // block records the compute cycles accumulated before a blocking miss so
 // resume can charge them. Modelling choice: pre-miss compute serializes
 // with the miss (charged on resume) rather than overlapping it; the same
 // conservative charge applies identically to every evaluated system.
-func (c *Core) block() {
-	c.deferred = c.computeCycles(c.pendingRun)
-	c.pendingRun = 0
+func (c *Core) block(run int) {
+	c.deferred = c.computeCycles(run)
 }
 
 // resume restarts execution after a blocking access completes, first paying

@@ -139,12 +139,17 @@ func TestIFetchStallDoesNotDropOps(t *testing.T) {
 	if c.IFetchStall == 0 {
 		t.Fatal("scenario produced no ifetch stalls")
 	}
-	// Every op consumed from the stream must have retired, except at most
-	// the one op stashed while its fetch stall is still in flight.
-	consumed := stream.Generated()
+	// Every op consumed from the batch buffer must have retired, except at
+	// most the one op stashed while its fetch stall is still in flight.
+	consumed := c.Consumed
 	if consumed-c.Retired > 1 {
 		t.Fatalf("dropped %d of %d consumed ops across %d ifetch stalls (retired %d)",
 			consumed-c.Retired, consumed, c.IFetchStall, c.Retired)
+	}
+	// The stream runs ahead of consumption by at most one pre-generated
+	// batch (the refill is lazy).
+	if ahead := stream.Generated() - consumed; ahead > opBatch {
+		t.Fatalf("stream generated %d ops ahead of consumption, want <= one %d-op batch", ahead, opBatch)
 	}
 }
 
@@ -166,7 +171,7 @@ func TestIFetchStallPreservesDataAccesses(t *testing.T) {
 	// Dropping the stalled op kills its access too: the buggy path loses
 	// one per stall (~1.3% here), pushing the issued count below 98% of
 	// consumption; the fixed path stays at ~99%.
-	consumed := stream.Generated()
+	consumed := c.Consumed
 	if h.dataAccess < uint64(float64(consumed)*0.98) {
 		t.Fatalf("issued %d data accesses for %d consumed ops (%.1f%%) across %d stalls",
 			h.dataAccess, consumed, 100*float64(h.dataAccess)/float64(consumed), c.IFetchStall)

@@ -103,6 +103,39 @@ func RunArrayProbe() uint64 {
 	return ArrayProbeOps
 }
 
+// StreamProbeOps is the number of trace ops one stream probe run
+// generates.
+const StreamProbeOps = 1 << 20
+
+// streamProbeBatch matches the cpu core's refill size so the batched
+// probe measures exactly the path the simulation hot loop pays.
+const streamProbeBatch = 16
+
+// RunStreamProbe drives the workload trace generator through the
+// simulator's canonical stream (Web Search at Scale 32, a 16-core
+// system's core 0) either op by op (Next, the serial reference) or
+// through the batched refill path (NextBatch) the cpu core consumes
+// from, and returns the ops generated. Both paths produce bit-identical
+// op sequences (workload.TestNextBatchMatchesNext); the probe exists to
+// quantify the batching win. bench_test.go (BenchmarkStreamProbe*) and
+// paperbench -bench-json share it so BENCH_<date>.json stream numbers
+// stay comparable to go test -bench output.
+func RunStreamProbe(batched bool) uint64 {
+	st := workload.NewStream(workload.WebSearch(), 0, 16, 32, 0x5EED)
+	if batched {
+		var buf [streamProbeBatch]workload.Op
+		for n := 0; n < StreamProbeOps; n += streamProbeBatch {
+			st.NextBatch(buf[:])
+		}
+	} else {
+		var op workload.Op
+		for n := 0; n < StreamProbeOps; n++ {
+			st.Next(&op)
+		}
+	}
+	return StreamProbeOps
+}
+
 // CoherenceTableOps is the number of coherence operations one table probe
 // run performs.
 const CoherenceTableOps = 1 << 20

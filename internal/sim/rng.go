@@ -48,6 +48,36 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
 }
 
+// State exposes the raw generator state for register-resident batch
+// loops: a hot loop Takes the state once, advances it with StateStep and
+// reads draws with StateRaw53/StateUint64, then SetStates it back — the
+// same recurrence Uint64/Raw53 apply, one memory round-trip per batch
+// instead of per draw. The stream generator (workload.Stream.NextBatch)
+// is the canonical user.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState stores back a state obtained from State and advanced by
+// StateStep. Interleaving SetState with other draws on the same RNG
+// reorders the stream; batch loops own the RNG for their duration.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
+// StateStep advances a state by one xorshift64* step (the Uint64
+// recurrence).
+func StateStep(x uint64) uint64 {
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	return x
+}
+
+// StateUint64 reads the draw Uint64 would return at state x (after
+// StateStep).
+func StateUint64(x uint64) uint64 { return x * 0x2545F4914F6CDD1D }
+
+// StateRaw53 reads the draw Raw53 would return at state x (after
+// StateStep).
+func StateRaw53(x uint64) float64 { return float64(x * 0x2545F4914F6CDD1D >> 11) }
+
 // Raw53 returns the next draw in the raw comparand domain of Threshold,
 // skipping Float64's division:
 //

@@ -136,24 +136,61 @@ func (s *Spec) ColdFrac() float64 {
 	return 1 - s.PrimaryFrac - s.MiddleFrac - s.SecondaryFrac - s.RWSharedFrac
 }
 
-// Op is one instruction produced by a stream.
+// Op is one instruction produced by a stream, packed into two words so a
+// pre-generated batch costs its consumer two loads per op and fills half
+// the cache lines a field-per-flag struct did. IWord carries the
+// instruction side (line addresses are 64-aligned, so bit 0 is free for
+// the jump flag); DWord carries the data side (addresses stay below 2^56
+// — the workload map tops out under 2^42 — leaving the top byte for
+// flags, and a non-memory op is all-zero). The generator always writes
+// both words, so an op never carries stale state from a previous one.
+// Read through the accessor methods below.
 type Op struct {
-	// NewIFetchLine is non-zero when this instruction enters a new
-	// instruction cache line; Jump marks a non-sequential transfer (the
-	// sequential case is covered by the next-line prefetcher).
-	NewIFetchLine mem.LineAddr
-	Jump          bool
-
-	// IsMem marks a data access with the fields below.
-	IsMem       bool
-	Addr        mem.Addr
-	Write       bool
-	RWShared    bool
-	Independent bool
-	// NonTemporal marks never-reused streaming accesses; caches insert
-	// their fills at LRU priority (see cache.InsertNonTemporal).
-	NonTemporal bool
+	// IWord is the new instruction-fetch line with bit 0 carrying the jump
+	// flag; 0 = the op does not enter a new instruction line.
+	IWord uint64
+	// DWord is the data address (bits 0-55) with the opMem..opNonTemporal
+	// flags above; 0 = the op is not a memory access.
+	DWord uint64
 }
+
+// DWord flag bits and the address field they sit above.
+const (
+	opMem         = uint64(1) << 63
+	opWrite       = uint64(1) << 62
+	opRWShared    = uint64(1) << 61
+	opIndependent = uint64(1) << 60
+	opNonTemporal = uint64(1) << 59
+	opAddrMask    = uint64(1)<<56 - 1
+)
+
+// NewIFetchLine is non-zero when this instruction enters a new
+// instruction cache line.
+func (o Op) NewIFetchLine() mem.LineAddr { return mem.LineAddr(o.IWord &^ 1) }
+
+// Jump marks a non-sequential control transfer (the sequential case is
+// covered by the next-line prefetcher).
+func (o Op) Jump() bool { return o.IWord&1 != 0 }
+
+// IsMem marks a data access with the fields below.
+func (o Op) IsMem() bool { return o.DWord != 0 }
+
+// Addr is the accessed byte address (meaningful only when IsMem).
+func (o Op) Addr() mem.Addr { return mem.Addr(o.DWord & opAddrMask) }
+
+// Write marks a store.
+func (o Op) Write() bool { return o.DWord&opWrite != 0 }
+
+// RWShared marks an access to the global read-write shared pool.
+func (o Op) RWShared() bool { return o.DWord&opRWShared != 0 }
+
+// Independent marks a miss the core may overlap (not dependent on the
+// previous instruction).
+func (o Op) Independent() bool { return o.DWord&opIndependent != 0 }
+
+// NonTemporal marks never-reused streaming accesses; caches insert their
+// fills at LRU priority (see cache.InsertNonTemporal).
+func (o Op) NonTemporal() bool { return o.DWord&opNonTemporal != 0 }
 
 // Address-map region bases. Regions are separated in the high bits so no
 // workload region ever aliases another. Bases and per-core strides carry
@@ -300,26 +337,41 @@ func NewStream(spec Spec, core, ncores int, scale int64, seed uint64) *Stream {
 // Spec returns the stream's workload spec.
 func (s *Stream) Spec() Spec { return s.spec }
 
-// Generated reports how many ops Next has produced. The core model retires
-// every op it consumes (an op may be in flight across a frontend stall but
-// is never dropped), so tests cross-check Retired against this count.
+// Generated reports how many ops the stream has produced — handed out by
+// Next or filled into a NextBatch buffer. A batching consumer (cpu.Core)
+// may hold up to one batch of generated-but-not-yet-executed ops, so
+// Generated can run ahead of execution by at most the batch size; tests
+// cross-check the core's Consumed counter (every op taken from the batch
+// retires) rather than this count.
 func (s *Stream) Generated() uint64 { return s.generated }
 
 // Next fills op with the next instruction. op is reused by callers to
-// avoid allocation in the simulation hot loop. Only the fields consumers
-// read unconditionally (NewIFetchLine, Jump, IsMem) are reset each call;
-// the data fields (Addr, Write, RWShared, Independent, NonTemporal) are
-// meaningful only when IsMem is set — nextData defines every one of them
-// — and may hold stale values from an earlier op otherwise.
+// avoid allocation in the simulation hot loop; both packed words are
+// written on every call, so no stale state survives reuse.
 func (s *Stream) Next(op *Op) {
 	s.generated++
-	op.NewIFetchLine = 0
-	op.Jump = false
-	op.IsMem = false
-	s.nextIFetch(op)
-	if s.rng.Raw53() < s.th.mem {
-		s.nextData(op)
+	s.rng.SetState(s.gen(op, s.rng.State()))
+}
+
+// NextBatch fills dst with the next len(dst) ops of the stream and returns
+// how many it produced (always len(dst); the stream never ends). It is the
+// batched form of Next: the ops and the RNG draw sequence are identical by
+// construction — gen is the single generator both paths call, in the same
+// order, so a refill boundary can never reorder or drop a draw (the
+// determinism contract, DESIGN.md §8; TestNextBatchMatchesNext proves the
+// equivalence directly). Batching exists for the consumer's sake: the RNG
+// state crosses memory once per refill instead of once per op (see gen's
+// state threading), and the generator's threshold state stays hot instead
+// of interleaving every op with memory-system work. dst is reused across
+// refills and the path allocates nothing.
+func (s *Stream) NextBatch(dst []Op) int {
+	x := s.rng.State()
+	for i := range dst {
+		x = s.gen(&dst[i], x)
 	}
+	s.rng.SetState(x)
+	s.generated += uint64(len(dst))
+	return len(dst)
 }
 
 // Instruction-stream locality: real code concentrates execution in hot
@@ -332,13 +384,26 @@ const (
 	hotInstrFrac = 0.08
 )
 
-// nextIFetch advances the PC by one instruction (4 bytes), jumping to a
-// random function start every JumpEveryLines lines on average.
-func (s *Stream) nextIFetch(op *Op) {
+// gen produces one op (see Next for the field-reset contract), threading
+// the RNG state x through every draw in register instead of bouncing it
+// off the Stream per draw: each `x = sim.StateStep(x)` + StateRaw53 /
+// StateUint64 pair reproduces exactly one historical rng.Raw53() /
+// rng.Uint64Mod() call, in the same order, so the draw sequence — and
+// therefore every generated op — is bit-identical to the pre-threading
+// code. Callers own the round-trip (rng.State() in, rng.SetState() out).
+//
+// The instruction side advances the PC by one instruction (4 bytes),
+// jumping to a random function start every JumpEveryLines lines on
+// average; the data side picks the region and address for memory ops.
+func (s *Stream) gen(op *Op, x uint64) uint64 {
+	// Instruction fetch.
+	var iw uint64
 	line := s.pc.Line()
 	if !s.havePC || line != s.lastILine {
-		op.NewIFetchLine = line
-		op.Jump = s.havePC && s.jumped
+		iw = uint64(line) // instruction lines sit above 2^32: never 0
+		if s.havePC && s.jumped {
+			iw |= 1
+		}
 		s.lastILine = line
 		s.havePC = true
 	}
@@ -347,12 +412,15 @@ func (s *Stream) nextIFetch(op *Op) {
 	next := s.pc + 4
 	if next.Line() != line {
 		// Crossing a line boundary: maybe jump instead.
-		if s.rng.Raw53() < s.th.jump {
+		x = sim.StateStep(x)
+		if sim.StateRaw53(x) < s.th.jump {
 			dv := s.instrDiv
-			if s.rng.Raw53() < s.th.hotJump && s.hotSpan >= mem.LineSize {
+			x = sim.StateStep(x)
+			if sim.StateRaw53(x) < s.th.hotJump && s.hotSpan >= mem.LineSize {
 				dv = s.hotDiv
 			}
-			next = instrBase + mem.Addr(s.rng.Uint64Mod(dv))&^(mem.LineSize-1)
+			x = sim.StateStep(x)
+			next = instrBase + mem.Addr(dv.Mod(sim.StateUint64(x)))&^(mem.LineSize-1)
 			s.jumped = true
 		}
 		if uint64(next-instrBase) >= uint64(s.instrFP) {
@@ -360,6 +428,15 @@ func (s *Stream) nextIFetch(op *Op) {
 		}
 	}
 	s.pc = next
+	op.IWord = iw
+
+	// Data access?
+	x = sim.StateStep(x)
+	if sim.StateRaw53(x) < s.th.mem {
+		return s.genData(op, x)
+	}
+	op.DWord = 0
+	return x
 }
 
 // Region-dependent instruction-level parallelism: middle-set accesses are
@@ -385,64 +462,99 @@ func scaledProb(p, scale float64) float64 {
 	return p
 }
 
-// nextData picks the data region and address for a memory instruction.
-// It defines every data field of op (see Next's reset contract): the
-// region branches below overwrite Addr, Write and (where applicable)
-// Independent; RWShared and NonTemporal are set here and overridden by
-// the branches that use them.
-func (s *Stream) nextData(op *Op) {
-	op.IsMem = true
-	op.RWShared = false
-	op.NonTemporal = false
-	op.Independent = s.rng.Raw53() < s.th.indep
-	r := s.rng.Raw53()
+// genData picks the data region and address for a memory instruction,
+// threading the RNG state like gen and assembling the packed DWord in
+// registers: the default independence draw happens first (historical draw
+// order), some region branches re-draw it, and the composed word lands in
+// op with a single store.
+func (s *Stream) genData(op *Op, x uint64) uint64 {
+	dw := opMem
+	x = sim.StateStep(x)
+	indep := sim.StateRaw53(x) < s.th.indep
+	x = sim.StateStep(x)
+	r := sim.StateRaw53(x)
+	var addr mem.Addr
 	switch {
 	case r < s.th.primary:
 		base := primaryBase + mem.Addr(int64(s.core)*primaryStride)
-		op.Addr = base + mem.Addr(s.rng.Uint64Mod(s.primaryDiv))
-		op.Write = s.rng.Raw53() < s.th.store
+		x = sim.StateStep(x)
+		addr = base + mem.Addr(s.primaryDiv.Mod(sim.StateUint64(x)))
+		x = sim.StateStep(x)
+		if sim.StateRaw53(x) < s.th.store {
+			dw |= opWrite
+		}
 	case r < s.th.middle:
 		base := middleBase + mem.Addr(int64(s.core)*middleStride)
-		op.Addr = base + mem.Addr(s.rng.Uint64Mod(s.middleDiv))
-		op.Write = s.rng.Raw53() < s.th.store
-		op.Independent = s.rng.Raw53() < s.th.indepMiddle
+		x = sim.StateStep(x)
+		addr = base + mem.Addr(s.middleDiv.Mod(sim.StateUint64(x)))
+		x = sim.StateStep(x)
+		if sim.StateRaw53(x) < s.th.store {
+			dw |= opWrite
+		}
+		x = sim.StateStep(x)
+		indep = sim.StateRaw53(x) < s.th.indepMiddle
 	case r < s.th.secondary:
 		owner := s.core
-		if s.ncores > 1 && s.rng.Raw53() < s.th.remote {
-			owner = int(s.rng.Uint64Mod(s.remoteDiv))
-			if owner >= s.core {
-				owner++
+		if s.ncores > 1 {
+			x = sim.StateStep(x)
+			if sim.StateRaw53(x) < s.th.remote {
+				x = sim.StateStep(x)
+				owner = int(s.remoteDiv.Mod(sim.StateUint64(x)))
+				if owner >= s.core {
+					owner++
+				}
 			}
 		}
 		base := secBase + mem.Addr(int64(owner)*secStride)
 		var off int64
-		if s.rng.Raw53() < s.th.scan {
+		x = sim.StateStep(x)
+		if sim.StateRaw53(x) < s.th.scan {
 			off = s.scanCursor
 			s.scanCursor += mem.LineSize
 			if s.scanCursor >= s.secondary {
 				s.scanCursor = 0
 			}
 		} else {
-			off = int64(s.rng.Uint64Mod(s.secondaryDiv))
+			x = sim.StateStep(x)
+			off = int64(s.secondaryDiv.Mod(sim.StateUint64(x)))
 		}
-		op.Addr = base + mem.Addr(off)
-		op.Write = s.rng.Raw53() < s.th.store
-		op.Independent = s.rng.Raw53() < s.th.indepSec
+		addr = base + mem.Addr(off)
+		x = sim.StateStep(x)
+		if sim.StateRaw53(x) < s.th.store {
+			dw |= opWrite
+		}
+		x = sim.StateStep(x)
+		indep = sim.StateRaw53(x) < s.th.indepSec
 	case r < s.th.rw:
-		op.Addr = sharedBase + mem.Addr(s.rng.Uint64Mod(s.sharedDiv))
-		op.Write = s.rng.Raw53() < s.th.sharedWrite
-		op.RWShared = true
-		op.Independent = s.rng.Raw53() < s.th.indepShared
+		x = sim.StateStep(x)
+		addr = sharedBase + mem.Addr(s.sharedDiv.Mod(sim.StateUint64(x)))
+		x = sim.StateStep(x)
+		if sim.StateRaw53(x) < s.th.sharedWrite {
+			dw |= opWrite
+		}
+		dw |= opRWShared
+		x = sim.StateStep(x)
+		indep = sim.StateRaw53(x) < s.th.indepShared
 	default:
 		// Cold stream: uniform over a region far larger than any cache
 		// (16GB per core at paper scale), so reuse is negligible and the
 		// page-based DRAM cache finds no spatial footprint to exploit.
 		base := coldBase + mem.Addr(int64(s.core)*coldStride)
-		op.Addr = base + mem.Addr(s.rng.Uint64Mod(s.coldDiv))
-		op.Write = s.rng.Raw53() < s.th.store
-		op.Independent = s.rng.Raw53() < s.th.indepCold
-		op.NonTemporal = true
+		x = sim.StateStep(x)
+		addr = base + mem.Addr(s.coldDiv.Mod(sim.StateUint64(x)))
+		x = sim.StateStep(x)
+		if sim.StateRaw53(x) < s.th.store {
+			dw |= opWrite
+		}
+		x = sim.StateStep(x)
+		indep = sim.StateRaw53(x) < s.th.indepCold
+		dw |= opNonTemporal
 	}
+	if indep {
+		dw |= opIndependent
+	}
+	op.DWord = dw | uint64(addr)
+	return x
 }
 
 // Prewarm visits every line of the stream's cache-resident footprints
