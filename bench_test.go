@@ -241,6 +241,34 @@ func BenchmarkSystemSimulationThroughput(b *testing.B) {
 	b.ReportMetric(float64(retired)/float64(b.N), "instr/iter")
 }
 
+// BenchmarkSystemThroughputPaperScale* measure the same throughput window
+// at paper-scale footprints (Scale 1 = the paper's 4GB aggregate vault
+// capacity, Scale 4 the cheapest multi-million-entry-table point) — the
+// regime the compact coherence slots target (DESIGN.md §8-§9; paperbench
+// -bench-json reports the same probe as system_throughput_paperscale).
+// Scale 1 warms tens of millions of lines, so it hides behind the
+// short-mode guard: CI's 1x-benchtime smoke runs with -short and only
+// pays for Scale 4.
+func benchPaperScale(b *testing.B, scale int64) {
+	if testing.Short() && scale < 4 {
+		b.Skipf("paper-scale warm-up at Scale %d is too slow for short mode", scale)
+	}
+	sys := experiments.ThroughputSystemAt(scale)
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		m := sys.Run(0, experiments.ThroughputWindow)
+		retired += m.Retired
+	}
+	b.ReportMetric(float64(retired)/float64(b.N), "instr/iter")
+	entries, bytesPerSlot := sys.LineTable()
+	b.ReportMetric(float64(entries), "table-entries")
+	b.ReportMetric(float64(entries*bytesPerSlot)/(1<<20), "table-MB")
+}
+
+func BenchmarkSystemThroughputPaperScale1(b *testing.B) { benchPaperScale(b, 1) }
+func BenchmarkSystemThroughputPaperScale4(b *testing.B) { benchPaperScale(b, 4) }
+
 // BenchmarkSchedulerProbe* time the engine's event-queue implementations on
 // the canonical simulator event mix (see experiments.RunSchedulerProbe;
 // paperbench -bench-json reports the same probe in BENCH_<date>.json). The

@@ -5,6 +5,13 @@
 // cores). -bench-json skips the tables and instead writes a
 // BENCH_<date>.json performance snapshot (simulator hot-path throughput
 // plus the Fig 10 suite) for tracking the perf trajectory across commits.
+//
+// -grid switches to batch mode: instead of the paper's figures it runs an
+// arbitrary (system x workload x config-override) cell grid and streams
+// one JSON-lines record per completed cell to stdout — aggregate IPC,
+// per-window IPC distribution with t-based confidence intervals, hit
+// rates — in deterministic enumeration order at any -parallel level. See
+// grid.go for the spec syntax.
 package main
 
 import (
@@ -29,15 +36,18 @@ func main() {
 	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
 	benchJSON := flag.Bool("bench-json", false, "write a BENCH_<date>.json performance snapshot and exit (never clobbers an existing snapshot: a b/c/... suffix is added)")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare the new snapshot's probe metrics against this baseline BENCH_*.json and exit non-zero on a >2x regression (the CI gate)")
+	grid := flag.String("grid", "", `batch mode: stream a (system x workload x override) grid as JSON-lines, e.g. "systems=Baseline,SILO;workloads=WebSearch,DataServing;overrides=scale=64|llc_mb=64"`)
+	gridWindows := flag.Int("grid-windows", 0, "with -grid: measurement windows per cell (the CI sample count; 0 = default)")
+	gridConfidence := flag.Float64("grid-confidence", 0, "with -grid: confidence level for the per-cell IPC interval (0 = 0.95)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	// Work happens in run() so the profile-flushing defers execute before
 	// os.Exit.
-	os.Exit(run(*full, *only, *parallel, *benchJSON, *benchBaseline, *cpuprofile, *memprofile))
+	os.Exit(run(*full, *only, *parallel, *benchJSON, *benchBaseline, *grid, *gridWindows, *gridConfidence, *cpuprofile, *memprofile))
 }
 
-func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, cpuprofile, memprofile string) int {
+func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, grid string, gridWindows int, gridConfidence float64, cpuprofile, memprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -79,6 +89,30 @@ func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, cp
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
 			return 1
 		}
+		return 0
+	}
+
+	if grid != "" {
+		if gridConfidence != 0 && (gridConfidence <= 0 || gridConfidence >= 1) {
+			fmt.Fprintf(os.Stderr, "grid: -grid-confidence %v outside (0,1) — e.g. 0.95, not a percentage\n", gridConfidence)
+			return 2
+		}
+		if gridWindows < 0 || sim.Cycle(gridWindows) > mode.MeasureCycles {
+			fmt.Fprintf(os.Stderr, "grid: -grid-windows %d outside [0, %d] (each window needs at least one of the mode's %d measure cycles)\n",
+				gridWindows, mode.MeasureCycles, mode.MeasureCycles)
+			return 2
+		}
+		g, err := parseGridSpec(grid, gridWindows, gridConfidence)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			return 2
+		}
+		start := time.Now()
+		if err := experiments.WriteJSONLines(os.Stdout, g, mode); err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "[grid: %d cells in %v]\n", g.Cells(), time.Since(start).Round(time.Millisecond))
 		return 0
 	}
 
@@ -184,6 +218,13 @@ type benchSnapshot struct {
 		AllocsPerOp  float64 `json:"allocs_per_op"`
 	} `json:"system_throughput"`
 
+	// SystemThroughputPaperScale measures the same throughput window at
+	// paper-scale footprints (experiments.PaperScales; Scale 1 is the
+	// paper's 4GB aggregate vault capacity) — the multi-million-entry
+	// line-table regime the compact coherence slots target (DESIGN.md
+	// §8-§9). Each point records the table occupancy it measured.
+	SystemThroughputPaperScale []experiments.PaperScalePoint `json:"system_throughput_paperscale"`
+
 	// Fig10 is one Fig 10 suite run (5 systems x 8 workloads) through the
 	// concurrent runner, under the selected mode (see the "mode" field —
 	// quick and full snapshots are not comparable to each other).
@@ -278,6 +319,12 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 	snap.SystemThroughput.EventsPerSec = float64(sys.Engine().Executed()-evStart) / evWall.Seconds()
 	snap.SystemThroughput.AllocsPerOp = float64(memEnd.Mallocs-memBeg.Mallocs) / float64(iters)
 
+	// Paper-scale throughput points (warm-up dominates; measured after the
+	// Scale-32 probe so the two share no warm state).
+	for _, scale := range experiments.PaperScales {
+		snap.SystemThroughputPaperScale = append(snap.SystemThroughputPaperScale, experiments.RunPaperScaleProbe(scale))
+	}
+
 	// Fig 10 suite wall-clock through the concurrent runner.
 	figStart := time.Now()
 	r := experiments.Fig10(mode)
@@ -299,6 +346,10 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 		snap.CoherenceTable.BytesPerSlot,
 		snap.StreamProbe.SerialNsPerOp, snap.StreamProbe.BatchedNsPerOp,
 		snap.SystemThroughput.NsPerOp/1e6, snap.SystemThroughput.AllocsPerOp, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
+	for _, p := range snap.SystemThroughputPaperScale {
+		fmt.Fprintf(os.Stderr, "  paperscale scale=%d: %.2fms/op, %.0f instr/iter, %d table entries (%.0f MB inline, warm %.1fs)\n",
+			p.Scale, p.NsPerOp/1e6, p.InstrPerIter, p.LineTableEntries, float64(p.LineTableBytes)/(1<<20), p.WarmupSec)
+	}
 
 	if baseline != "" {
 		return gateAgainstBaseline(&snap, baseline)
@@ -309,21 +360,37 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 // snapshotName returns BENCH_<date>.json, or BENCH_<date>b.json,
 // BENCH_<date>c.json, ... when snapshots for the date already exist —
 // same-day snapshots (e.g. before/after within one PR) must both survive
-// so the perf trajectory stays complete. Letter suffixes keep plain
-// lexicographic sort chronological ('.' < any letter), which the CI
+// so the perf trajectory stays complete. Suffixes keep plain
+// lexicographic sort chronological (see snapshotSuffix), which the CI
 // regression gate relies on to pick the newest committed snapshot with
 // `ls | sort | tail -1`.
 func snapshotName(date string) string {
-	name := fmt.Sprintf("BENCH_%s.json", date)
-	for c := 'b'; ; c++ {
-		if _, err := os.Stat(name); os.IsNotExist(err) {
+	for k := 0; ; k++ {
+		name := fmt.Sprintf("BENCH_%s%s.json", date, snapshotSuffix(k))
+		_, err := os.Stat(name)
+		if os.IsNotExist(err) {
 			return name
 		}
-		if c > 'z' {
-			panic("paperbench: more than 25 snapshots in one day")
+		if err != nil {
+			// A persistent stat failure (EACCES, ENAMETOOLONG, ...) would
+			// recur for every suffix; fail instead of spinning forever.
+			panic(fmt.Sprintf("paperbench: stat %s: %v", name, err))
 		}
-		name = fmt.Sprintf("BENCH_%s%c.json", date, c)
 	}
+}
+
+// snapshotSuffix returns the k-th same-day suffix: "", b, c, ..., z, zb,
+// ..., zz, zzb, ... Every overflow level extends the previous maximal
+// suffix with another letter, and '.' sorts before any letter, so plain
+// lexicographic filename sort stays chronological for any number of
+// same-day snapshots — the >26-per-day case must neither collide nor
+// mis-sort in the CI gate's newest-snapshot selection
+// (TestSnapshotSuffixSortsChronologically).
+func snapshotSuffix(k int) string {
+	if k == 0 {
+		return ""
+	}
+	return strings.Repeat("z", (k-1)/25) + string(rune('b'+(k-1)%25))
 }
 
 // benchRegressionFactor is the CI gate's tolerance: probe metrics may vary
@@ -355,6 +422,19 @@ func gateAgainstBaseline(snap *benchSnapshot, path string) error {
 		{"stream_probe.serial_ns_per_op", base.StreamProbe.SerialNsPerOp, snap.StreamProbe.SerialNsPerOp},
 		{"stream_probe.batched_ns_per_op", base.StreamProbe.BatchedNsPerOp, snap.StreamProbe.BatchedNsPerOp},
 		{"system_throughput.ns_per_op", base.SystemThroughput.NsPerOp, snap.SystemThroughput.NsPerOp},
+	}
+	// Paper-scale points gate per scale; a scale the baseline never
+	// measured is skipped, like any other metric absent from an older
+	// schema.
+	for _, p := range snap.SystemThroughputPaperScale {
+		for _, bp := range base.SystemThroughputPaperScale {
+			if bp.Scale == p.Scale {
+				checks = append(checks, struct {
+					name      string
+					old, new_ float64
+				}{fmt.Sprintf("system_throughput_paperscale[scale=%d].ns_per_op", p.Scale), bp.NsPerOp, p.NsPerOp})
+			}
+		}
 	}
 	bad := 0
 	for _, c := range checks {

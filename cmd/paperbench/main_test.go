@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Regression for the snapshot-name scheme: writing more than 26 snapshots
+// in one day must neither collide nor mis-sort in the CI gate's
+// newest-snapshot selection (`ls BENCH_*.json | sort | tail -1`). The old
+// scheme panicked at the 27th snapshot; the fix extends the suffix with
+// another letter ("z" -> "zb" -> ... -> "zz" -> "zzb"), which stays
+// lexicographically increasing because '.' sorts before any letter.
+func TestSnapshotSuffixSortsChronologically(t *testing.T) {
+	t.Chdir(t.TempDir())
+	const n = 60 // two overflow levels past the 26-per-day boundary
+	var names []string
+	seen := make(map[string]bool)
+	for k := 0; k < n; k++ {
+		name := snapshotName("2026-07-29")
+		if seen[name] {
+			t.Fatalf("snapshot %d collides: %s", k, name)
+		}
+		seen[name] = true
+		names = append(names, name)
+		if err := os.WriteFile(name, []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for i := range names {
+		if names[i] != sorted[i] {
+			t.Fatalf("creation order and sort order diverge at %d: created %s, sorted %s", i, names[i], sorted[i])
+		}
+	}
+	// The gate picks the newest: the last-written snapshot must win the
+	// sort.
+	if sorted[len(sorted)-1] != names[n-1] {
+		t.Fatalf("newest snapshot is %s but sort picks %s", names[n-1], sorted[len(sorted)-1])
+	}
+}
+
+func TestSnapshotSuffixShape(t *testing.T) {
+	cases := []struct {
+		k    int
+		want string
+	}{
+		{0, ""}, {1, "b"}, {2, "c"}, {25, "z"},
+		{26, "zb"}, {50, "zz"}, {51, "zzb"}, {75, "zzz"}, {76, "zzzb"},
+	}
+	for _, c := range cases {
+		if got := snapshotSuffix(c.k); got != c.want {
+			t.Errorf("snapshotSuffix(%d) = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestParseGridSpec(t *testing.T) {
+	g, err := parseGridSpec("systems=Baseline,SILO,vaults-sh;workloads=WebSearch,DataServing,SATSolver;overrides=-|scale=64,llc_mb=64", 4, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Systems) != 3 || len(g.Workloads) != 3 || len(g.Overrides) != 2 {
+		t.Fatalf("axes = %d/%d/%d, want 3/3/2", len(g.Systems), len(g.Workloads), len(g.Overrides))
+	}
+	if g.Cells() != 18 {
+		t.Fatalf("Cells() = %d, want 18", g.Cells())
+	}
+	if g.Windows != 4 || g.Confidence != 0.99 {
+		t.Fatalf("windows/confidence = %d/%v", g.Windows, g.Confidence)
+	}
+	if g.Systems[2].Kind != core.VaultsShared {
+		t.Fatalf("vaults-sh resolved to %v", g.Systems[2].Kind)
+	}
+	if g.Overrides[0].Name != "-" || g.Overrides[1].Name != "scale=64,llc_mb=64" {
+		t.Fatalf("override names = %q, %q", g.Overrides[0].Name, g.Overrides[1].Name)
+	}
+	cfg := core.BaselineConfig(16)
+	g.Overrides[1].Apply(&cfg)
+	if cfg.Scale != 64 || cfg.LLCSize != 64<<20 {
+		t.Fatalf("override application: scale=%d llc=%d", cfg.Scale, cfg.LLCSize)
+	}
+}
+
+func TestParseGridSpecErrors(t *testing.T) {
+	cases := []struct {
+		arg, wantErr string
+	}{
+		{"workloads=WebSearch", "needs at least"},
+		{"systems=Baseline", "needs at least"},
+		{"systems=NoSuch;workloads=WebSearch", "unknown system"},
+		{"systems=Baseline;workloads=NoSuch", "unknown workload"},
+		{"systems=Baseline;workloads=WebSearch;overrides=frobnicate=1", "unknown key"},
+		{"systems=Baseline;workloads=WebSearch;overrides=scale=-3", "positive integer"},
+		{"systems=Baseline;workloads=WebSearch;overrides=l2=maybe", "l2 wants true or false"},
+		{"systems=Baseline;workloads=WebSearch;overrides=protocol=mosi", "protocol wants"},
+		{"systems=Baseline;workloads=WebSearch;bogus", "not axis=values"},
+		{"colors=red;systems=Baseline;workloads=WebSearch", "unknown grid axis"},
+	}
+	for _, c := range cases {
+		if _, err := parseGridSpec(c.arg, 0, 0); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("parseGridSpec(%q) error = %v, want containing %q", c.arg, err, c.wantErr)
+		}
+	}
+}
+
+// Every override key must be accepted and mutate the config it names.
+func TestParseOverrideKeys(t *testing.T) {
+	ov, err := parseOverride("scale=8,cores=4,seed=7,llc_mb=64,llc_ways=8,llc_extra=5,rwmult=2,vault_mb=512,vault_ways=4,l2=true,protocol=mesi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.SILOConfig(16)
+	ov.Apply(&cfg)
+	if cfg.Scale != 8 || cfg.Cores != 4 || cfg.Seed != 7 ||
+		cfg.LLCSize != 64<<20 || cfg.LLCWays != 8 || cfg.LLCExtraLatency != 5 ||
+		cfg.RWSharedMult != 2 || cfg.VaultCapacity != 512<<20 || cfg.VaultWays != 4 ||
+		cfg.L2Size == 0 {
+		t.Fatalf("override did not land: %+v", cfg)
+	}
+	off, err := parseOverride("l2=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.Apply(&cfg)
+	if cfg.L2Size != 0 {
+		t.Fatalf("l2=false left L2Size=%d", cfg.L2Size)
+	}
+}

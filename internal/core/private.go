@@ -77,6 +77,10 @@ func newPrivateHierarchy(sys *System) *privateHierarchy {
 
 func (h *privateHierarchy) stats() Stats { return h.st }
 
+func (h *privateHierarchy) lineTable() (entries, bytesPerSlot int) {
+	return h.dir.Entries(), h.dir.BytesPerSlot()
+}
+
 // homeOf address-interleaves directory homes across the vaults (paper
 // Sec. V-B: physically distributed, address-interleaved directory).
 func (h *privateHierarchy) homeOf(line mem.LineAddr) int {

@@ -80,6 +80,10 @@ func newSharedHierarchy(sys *System) *sharedHierarchy {
 
 func (h *sharedHierarchy) stats() Stats { return h.st }
 
+func (h *sharedHierarchy) lineTable() (entries, bytesPerSlot int) {
+	return h.snoop.Entries(), h.snoop.BytesPerSlot()
+}
+
 // probeL2 probes an optional-L2 level (touching on a hit — both data
 // paths treat an L2 hit as a use), reporting a miss when the level is
 // absent. Shared by both hierarchies' data paths.

@@ -26,6 +26,9 @@ type hierarchy interface {
 	data(core int, addr mem.Addr, write, rwShared, nonTemporal, timing bool) (lat sim.Cycle, hit bool)
 	// stats returns the current counter values.
 	stats() Stats
+	// lineTable reports the coherence line-table occupancy: live entries
+	// and the store's inline bytes per slot.
+	lineTable() (entries, bytesPerSlot int)
 	// check validates internal invariants, returning "" when healthy.
 	check() string
 }
@@ -232,6 +235,12 @@ func (s *System) Run(warmCycles, measureCycles sim.Cycle) Metrics {
 
 // CheckInvariants exposes hierarchy invariant checking to tests.
 func (s *System) CheckInvariants() string { return s.hier.check() }
+
+// LineTable reports the coherence line-table occupancy — live entries and
+// inline bytes per slot — so scale probes can record the table regime
+// they measured (the multi-GB paper-scale footprints the compact-slot
+// stores target, DESIGN.md §8).
+func (s *System) LineTable() (entries, bytesPerSlot int) { return s.hier.lineTable() }
 
 // Prewarm seeds steady-state cache contents analytically: each core's
 // cache-resident footprints (instructions, middle and secondary sets,
