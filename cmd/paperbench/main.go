@@ -15,41 +15,76 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/coherence"
 	"repro/internal/experiments"
+	"repro/internal/robust"
 	"repro/internal/sim"
 )
 
+// cliConfig is the parsed flag set.
+type cliConfig struct {
+	full           bool
+	only           string
+	parallel       int
+	benchJSON      bool
+	benchBaseline  string
+	grid           string
+	gridWindows    int
+	gridConfidence float64
+	gridOut        string
+	journal        string
+	resume         bool
+	cellDeadline   time.Duration
+	retries        int
+	retryBackoff   time.Duration
+	onError        string
+	cpuprofile     string
+	memprofile     string
+}
+
 func main() {
-	full := flag.Bool("full", false, "use paper-scale measurement windows")
-	only := flag.String("only", "", "run a single experiment (fig1, fig2, fig3, fig4, fig7, fig8, table1, fig10, fig11, fig12, fig13, fig14, fig15, table6, fig16)")
-	parallel := flag.Int("parallel", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
-	benchJSON := flag.Bool("bench-json", false, "write a BENCH_<date>.json performance snapshot and exit (never clobbers an existing snapshot: a b/c/... suffix is added)")
-	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare the new snapshot's probe metrics against this baseline BENCH_*.json and exit non-zero on a >2x regression (the CI gate)")
-	grid := flag.String("grid", "", `batch mode: stream a (system x workload x override) grid as JSON-lines, e.g. "systems=Baseline,SILO;workloads=WebSearch,DataServing;overrides=scale=64|llc_mb=64"`)
-	gridWindows := flag.Int("grid-windows", 0, "with -grid: measurement windows per cell (the CI sample count; 0 = default)")
-	gridConfidence := flag.Float64("grid-confidence", 0, "with -grid: confidence level for the per-cell IPC interval (0 = 0.95)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	var c cliConfig
+	flag.BoolVar(&c.full, "full", false, "use paper-scale measurement windows")
+	flag.StringVar(&c.only, "only", "", "run a single experiment (fig1, fig2, fig3, fig4, fig7, fig8, table1, fig10, fig11, fig12, fig13, fig14, fig15, table6, fig16)")
+	flag.IntVar(&c.parallel, "parallel", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
+	flag.BoolVar(&c.benchJSON, "bench-json", false, "write a BENCH_<date>.json performance snapshot and exit (never clobbers an existing snapshot: a b/c/... suffix is added)")
+	flag.StringVar(&c.benchBaseline, "bench-baseline", "", "with -bench-json: compare the new snapshot's probe metrics against this baseline BENCH_*.json and exit non-zero on a >2x regression (the CI gate)")
+	flag.StringVar(&c.grid, "grid", "", `batch mode: stream a (system x workload x override) grid as JSON-lines, e.g. "systems=Baseline,SILO;workloads=WebSearch,DataServing;overrides=scale=64|llc_mb=64"`)
+	flag.IntVar(&c.gridWindows, "grid-windows", 0, "with -grid: measurement windows per cell (the CI sample count; 0 = default)")
+	flag.Float64Var(&c.gridConfidence, "grid-confidence", 0, "with -grid: confidence level for the per-cell IPC interval (0 = 0.95)")
+	flag.StringVar(&c.gridOut, "grid-out", "", "with -grid: write the JSON-lines to this file atomically (temp file + rename on completion) instead of stdout")
+	flag.StringVar(&c.journal, "journal", "", "with -grid: append each completed cell to this crash-safe journal (fsync'd JSON lines keyed by a content hash of the cell + mode + code version)")
+	flag.BoolVar(&c.resume, "resume", false, "with -grid -journal: skip cells already in the journal, re-emitting their records — a killed sweep continues where it stopped")
+	flag.DurationVar(&c.cellDeadline, "cell-deadline", 0, "with -grid: per-cell wall-clock watchdog; a cell exceeding it is recorded as timed out (0 = no deadline)")
+	flag.IntVar(&c.retries, "retries", 0, "with -grid: deterministic re-attempts for a panicked or timed-out cell before it counts as permanently failed")
+	flag.DurationVar(&c.retryBackoff, "retry-backoff", 500*time.Millisecond, "with -grid: base of the capped exponential retry backoff (doubles per retry, capped at 30s)")
+	flag.StringVar(&c.onError, "on-error", "fail", "with -grid: fail = abort the sweep on the first permanently failed cell; skip = record a structured error for it and continue")
+	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
+	flag.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	// Work happens in run() so the profile-flushing defers execute before
 	// os.Exit.
-	os.Exit(run(*full, *only, *parallel, *benchJSON, *benchBaseline, *grid, *gridWindows, *gridConfidence, *cpuprofile, *memprofile))
+	os.Exit(run(c))
 }
 
-func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, grid string, gridWindows int, gridConfidence float64, cpuprofile, memprofile string) int {
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
+func run(c cliConfig) int {
+	if c.cpuprofile != "" {
+		f, err := os.Create(c.cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
 			return 1
@@ -63,9 +98,9 @@ func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, gr
 			f.Close()
 		}()
 	}
-	if memprofile != "" {
+	if c.memprofile != "" {
 		defer func() {
-			f, err := os.Create(memprofile)
+			f, err := os.Create(c.memprofile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 				return
@@ -79,42 +114,23 @@ func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, gr
 	}
 
 	mode := experiments.Quick()
-	if full {
+	if c.full {
 		mode = experiments.Full()
 	}
-	mode.Parallelism = parallel
+	mode.Parallelism = c.parallel
 
-	if benchJSON {
-		if err := writeBenchSnapshot(mode, benchBaseline); err != nil {
+	if c.benchJSON {
+		if err := writeBenchSnapshot(mode, c.benchBaseline); err != nil {
 			fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	if grid != "" {
-		if gridConfidence != 0 && (gridConfidence <= 0 || gridConfidence >= 1) {
-			fmt.Fprintf(os.Stderr, "grid: -grid-confidence %v outside (0,1) — e.g. 0.95, not a percentage\n", gridConfidence)
-			return 2
-		}
-		if gridWindows < 0 || sim.Cycle(gridWindows) > mode.MeasureCycles {
-			fmt.Fprintf(os.Stderr, "grid: -grid-windows %d outside [0, %d] (each window needs at least one of the mode's %d measure cycles)\n",
-				gridWindows, mode.MeasureCycles, mode.MeasureCycles)
-			return 2
-		}
-		g, err := parseGridSpec(grid, gridWindows, gridConfidence)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
-			return 2
-		}
-		start := time.Now()
-		if err := experiments.WriteJSONLines(os.Stdout, g, mode); err != nil {
-			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(os.Stderr, "[grid: %d cells in %v]\n", g.Cells(), time.Since(start).Round(time.Millisecond))
-		return 0
+	if c.grid != "" {
+		return runGrid(c, mode)
 	}
+	only := c.only
 
 	runners := []struct {
 		name string
@@ -152,6 +168,142 @@ func run(full bool, only string, parallel int, benchJSON bool, benchBaseline, gr
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", only)
 		return 2
 	}
+	return 0
+}
+
+// runGrid is batch mode with the fault-tolerance layer: per-cell
+// isolation (-on-error), retry/backoff (-retries), watchdog
+// (-cell-deadline), crash-safe journal + resume (-journal/-resume),
+// SIGINT/SIGTERM graceful shutdown, and atomic output (-grid-out).
+func runGrid(c cliConfig, mode experiments.Mode) int {
+	if c.gridConfidence != 0 && (c.gridConfidence <= 0 || c.gridConfidence >= 1) {
+		fmt.Fprintf(os.Stderr, "grid: -grid-confidence %v outside (0,1) — e.g. 0.95, not a percentage\n", c.gridConfidence)
+		return 2
+	}
+	if c.gridWindows < 0 || sim.Cycle(c.gridWindows) > mode.MeasureCycles {
+		fmt.Fprintf(os.Stderr, "grid: -grid-windows %d outside [0, %d] (each window needs at least one of the mode's %d measure cycles)\n",
+			c.gridWindows, mode.MeasureCycles, mode.MeasureCycles)
+		return 2
+	}
+	policy, err := robust.ParseFailPolicy(c.onError)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grid: -on-error: %v\n", err)
+		return 2
+	}
+	if c.retries < 0 {
+		fmt.Fprintf(os.Stderr, "grid: -retries %d is negative\n", c.retries)
+		return 2
+	}
+	if c.resume && c.journal == "" {
+		fmt.Fprintf(os.Stderr, "grid: -resume needs -journal <file> (the journal is what a resumed sweep reads)\n")
+		return 2
+	}
+	g, err := parseGridSpec(c.grid, c.gridWindows, c.gridConfidence)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+		return 2
+	}
+
+	opts := experiments.GridOptions{
+		OnError:      policy,
+		Retries:      c.retries,
+		Backoff:      robust.Backoff{Base: c.retryBackoff, Cap: 30 * time.Second},
+		CellDeadline: c.cellDeadline,
+		Resume:       c.resume,
+	}
+	if c.journal != "" {
+		j, err := robust.OpenJournal(c.journal)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			return 1
+		}
+		defer j.Close()
+		if c.resume {
+			if d := j.DroppedBytes(); d > 0 {
+				fmt.Fprintf(os.Stderr, "[grid: journal %s: dropped %d bytes of torn tail]\n", c.journal, d)
+			}
+			fmt.Fprintf(os.Stderr, "[grid: resuming — %d journaled cell(s)]\n", j.Len())
+		} else if err := j.Clear(); err != nil {
+			// Without -resume the sweep starts fresh; stale entries must
+			// not linger (they would match on an identical re-run).
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			return 1
+		}
+		opts.Journal = j
+	}
+
+	// SIGINT/SIGTERM cancel the sweep gracefully: workers stop claiming
+	// cells, in-flight cells drain (and journal), emitted output stands.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	out := os.Stdout
+	tmpName := ""
+	if c.gridOut != "" {
+		// Stream into a same-directory temp file; only a completed sweep
+		// is renamed into place, so a crash never leaves a truncated
+		// output under the real name.
+		tmp, err := os.CreateTemp(filepath.Dir(c.gridOut), filepath.Base(c.gridOut)+".tmp-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			return 1
+		}
+		out = tmp
+		tmpName = tmp.Name()
+		defer func() {
+			if tmpName != "" { // not committed: discard the partial file
+				tmp.Close()
+				os.Remove(tmpName)
+			}
+		}()
+	}
+
+	start := time.Now()
+	emitted, failed := 0, 0
+	enc := json.NewEncoder(out)
+	var encErr error
+	err = experiments.RunGridStreamOpts(ctx, g, mode, opts, func(r experiments.GridCellResult) bool {
+		if encErr = enc.Encode(r); encErr != nil {
+			return false
+		}
+		emitted++
+		if r.Error != nil {
+			failed++
+		}
+		return true
+	})
+	if encErr != nil {
+		fmt.Fprintf(os.Stderr, "grid: %v\n", encErr)
+		return 1
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			hint := ""
+			if c.journal != "" {
+				hint = fmt.Sprintf("; journaled progress survives — rerun with -journal %s -resume", c.journal)
+			}
+			fmt.Fprintf(os.Stderr, "grid: interrupted after %d of %d cells%s\n", emitted, g.Cells(), hint)
+			return 130
+		}
+		fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+		return 1
+	}
+	if c.gridOut != "" {
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			return 1
+		}
+		if err := robust.CommitFile(tmpName, c.gridOut); err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			return 1
+		}
+		tmpName = ""
+	}
+	failNote := ""
+	if failed > 0 {
+		failNote = fmt.Sprintf(", %d failed (structured error records)", failed)
+	}
+	fmt.Fprintf(os.Stderr, "[grid: %d cells in %v%s]\n", g.Cells(), time.Since(start).Round(time.Millisecond), failNote)
 	return 0
 }
 
@@ -336,7 +488,10 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+	// Atomic (temp + rename): a crash mid-write must never leave a
+	// truncated snapshot — the CI baseline gate picks the newest committed
+	// snapshot with `sort | tail -1` and would be poisoned by a torn one.
+	if err := robust.WriteFileAtomic(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%s: %.1f ns/event vs heap %.1f; array %.1f ns/access; table quot %.1f / open %.1f / map %.1f ns/op, %d B/slot; stream %.1f serial vs %.1f batched ns/op; throughput %.2fms/op %.1f allocs/op, fig10 %.2fs, silo geomean %.7fx)\n",

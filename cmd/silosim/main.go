@@ -28,7 +28,7 @@ func main() {
 
 	spec, ok := findWorkload(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		fmt.Fprintf(os.Stderr, "unknown workload %q (scale-out, enterprise and SPEC CPU2006 names are accepted, e.g. WebSearch or mcf)\n", *name)
 		os.Exit(2)
 	}
 
@@ -127,7 +127,12 @@ func findWorkload(name string) (silo.Workload, bool) {
 			return w, true
 		}
 	}
-	defer func() { recover() }()
-	w := silo.Spec2006(strings.ToLower(name))
-	return w, true
+	// Validate the SPEC CPU2006 name before resolving it: an unknown name
+	// must become a usage error, not a recovered panic.
+	for _, n := range silo.Spec2006Names() {
+		if strings.EqualFold(n, name) {
+			return silo.Spec2006(n), true
+		}
+	}
+	return silo.Workload{}, false
 }

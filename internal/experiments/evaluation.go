@@ -146,14 +146,27 @@ func (r CompareResult) String() string {
 	return b.String()
 }
 
-// SpeedupOf returns the geomean speedup of the named system over baseline.
-func (r CompareResult) SpeedupOf(system string) float64 {
+// Speedup returns the geomean speedup of the named system over
+// baseline, erroring on an unknown name — the lookup for CLI-driven
+// paths, where a bad name is user input, not an invariant violation.
+func (r CompareResult) Speedup(system string) (float64, error) {
 	for i, s := range r.Systems {
 		if s == system {
-			return r.Geomean[i]
+			return r.Geomean[i], nil
 		}
 	}
-	panic(fmt.Sprintf("experiments: unknown system %q", system))
+	return 0, fmt.Errorf("unknown system %q (have %s)", system, strings.Join(r.Systems, ", "))
+}
+
+// SpeedupOf returns the geomean speedup of the named system over
+// baseline, panicking on an unknown name — for internal callers whose
+// system names are compile-time constants.
+func (r CompareResult) SpeedupOf(system string) float64 {
+	v, err := r.Speedup(system)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return v
 }
 
 // WorkloadSpeedup returns one workload's speedup on the named system.

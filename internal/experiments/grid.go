@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/robust"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -91,12 +94,34 @@ type GridCellResult struct {
 	// WallMS is the cell's host wall-clock time — the only
 	// non-deterministic field.
 	WallMS float64 `json:"wall_ms"`
+
+	// Error is non-nil when the cell permanently failed under the
+	// SkipFailed policy (RunGridStreamOpts): the structured failure
+	// record — kind, phase, message, stack digest, attempts — replaces
+	// the measurement fields, which stay zero. Successful records omit
+	// the field entirely, so fault-tolerant output stays byte-identical
+	// to the historical format.
+	Error *CellError `json:"error,omitempty"`
+}
+
+// Validate reports whether the spec describes a runnable grid — the
+// error-returning counterpart of the panics normalized applies, for
+// CLI-reachable paths (RunGridStreamOpts validates instead of
+// panicking; panics remain only for internal invariant violations).
+func (g GridSpec) Validate() error {
+	if len(g.Systems) == 0 || len(g.Workloads) == 0 {
+		return errors.New("grid needs at least one system and one workload (pass systems=... and workloads=...)")
+	}
+	if g.Confidence >= 1 {
+		return fmt.Errorf("grid confidence %v outside (0,1) — e.g. 0.95, not a percentage", g.Confidence)
+	}
+	return nil
 }
 
 // normalized returns the spec with defaults applied.
 func (g GridSpec) normalized() GridSpec {
-	if len(g.Systems) == 0 || len(g.Workloads) == 0 {
-		panic("experiments: grid needs at least one system and one workload")
+	if err := g.Validate(); err != nil {
+		panic("experiments: " + err.Error())
 	}
 	if len(g.Overrides) == 0 {
 		g.Overrides = []Override{NoOverride()}
@@ -106,9 +131,6 @@ func (g GridSpec) normalized() GridSpec {
 	}
 	if g.Confidence <= 0 {
 		g.Confidence = 0.95
-	}
-	if g.Confidence >= 1 {
-		panic(fmt.Sprintf("experiments: grid confidence %v outside (0,1)", g.Confidence))
 	}
 	return g
 }
@@ -168,7 +190,7 @@ func (g GridSpec) enumerate(m Mode) []gridCell {
 // cells are never simulated.
 func RunGridStream(g GridSpec, m Mode, emit func(GridCellResult) bool) {
 	cells := g.enumerate(m)
-	streamOrdered(len(cells), m.Parallelism,
+	streamOrdered(context.Background(), len(cells), m.Parallelism,
 		func(i int) GridCellResult { return runGridCell(cells[i], m) },
 		func(_ int, r GridCellResult) bool { return emit(r) })
 }
@@ -198,25 +220,65 @@ func WriteJSONLines(w io.Writer, g GridSpec, m Mode) error {
 	return err
 }
 
-// runGridCell builds, warms and measures one grid cell through the
-// streamed window engine: Windows consecutive windows of
-// MeasureCycles/Windows cycles each, per-window IPC folded into an online
-// accumulator — no per-window history is retained.
+// phaseTracker records which phase of a cell a goroutine is in, so a
+// watchdog firing on another goroutine can name the phase in its
+// timeout record. The nil tracker is valid and tracks nothing.
+type phaseTracker struct {
+	v atomic.Value // string
+}
+
+func (p *phaseTracker) set(phase string) {
+	if p != nil {
+		p.v.Store(phase)
+	}
+}
+
+func (p *phaseTracker) get() string {
+	if p == nil {
+		return ""
+	}
+	if s, ok := p.v.Load().(string); ok {
+		return s
+	}
+	return "enumerate"
+}
+
+// runGridCell is the historical fail-fast cell entry point: any failure
+// panics on the caller, labeled with the cell's identity. The
+// fault-tolerant executor (gridexec.go) wraps simulateCell directly.
 func runGridCell(c gridCell, m Mode) GridCellResult {
 	defer func() {
 		if r := recover(); r != nil {
 			panic(fmt.Sprintf("experiments: grid cell %d (%s/%s/%s): %v", c.index, c.system, c.wl, c.ov, r))
 		}
 	}()
+	return simulateCell(context.Background(), c, m, nil, 0, nil)
+}
+
+// simulateCell builds, warms and measures one grid cell through the
+// streamed window engine: Windows consecutive windows of
+// MeasureCycles/Windows cycles each, per-window IPC folded into an online
+// accumulator — no per-window history is retained. inj (nil-safe)
+// injects deterministic faults for the robustness harness; ph (nil-safe)
+// exposes the current phase to a watchdog.
+func simulateCell(ctx context.Context, c gridCell, m Mode, inj *robust.Injector, attempt int, ph *phaseTracker) GridCellResult {
 	start := time.Now()
 	window := m.MeasureCycles / sim.Cycle(c.windows)
 	if window <= 0 {
 		panic(fmt.Sprintf("measure budget %d too small for %d windows", m.MeasureCycles, c.windows))
 	}
+	// Injected faults land before the build phase: the injection site for
+	// the panic/stall matrix (a stall aborts early if ctx cancels, so
+	// abandoned attempts unwind instead of sleeping on).
+	inj.Fire(ctx, "cell", c.index, attempt)
 
+	ph.set("build")
 	sys := core.NewSystem(c.cfg, []workload.Spec{c.spec})
+	ph.set("prewarm")
 	sys.Prewarm()
+	ph.set("warm")
 	sys.WarmFunctional(m.WarmInstr)
+	ph.set("measure")
 	ws := sys.StreamWindows(m.WarmCycles, window)
 	var retired, llcAccesses, hits, misses uint64
 	for w := 0; w < c.windows; w++ {
@@ -226,6 +288,7 @@ func runGridCell(c gridCell, m Mode) GridCellResult {
 		hits += met.Stats.LocalHits + met.Stats.RemoteHits
 		misses += met.Stats.Misses
 	}
+	ph.set("check")
 	if msg := sys.CheckInvariants(); msg != "" {
 		panic("invariant violation: " + msg)
 	}
@@ -275,9 +338,12 @@ func runGridCell(c gridCell, m Mode) GridCellResult {
 // been emitted, so even pathological per-cell skew (one slow cell at the
 // cursor, everything after it fast) cannot grow the reorder window past
 // 2*workers. emit returning false cancels: no further indices are
-// claimed and nothing more is emitted. parallelism <= 0 uses GOMAXPROCS;
-// 1 degenerates to the in-place sequential path.
-func streamOrdered[T any](n, parallelism int, fn func(i int) T, emit func(i int, v T) bool) {
+// claimed and nothing more is emitted. Cancelling ctx has the same
+// effect — workers stop claiming indices, in-flight fn calls are
+// drained (their results discarded), and the pool winds down with no
+// goroutine leaks; already-emitted results are unaffected. parallelism
+// <= 0 uses GOMAXPROCS; 1 degenerates to the in-place sequential path.
+func streamOrdered[T any](ctx context.Context, n, parallelism int, fn func(i int) T, emit func(i int, v T) bool) {
 	if n == 0 {
 		return
 	}
@@ -290,6 +356,9 @@ func streamOrdered[T any](n, parallelism int, fn func(i int) T, emit func(i int,
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			if !emit(i, fn(i)) {
 				return
 			}
@@ -323,7 +392,7 @@ func streamOrdered[T any](n, parallelism int, fn func(i int) T, emit func(i int,
 			for {
 				tokens <- struct{}{}
 				i := int(next.Add(1))
-				if i >= n || stopped.Load() {
+				if i >= n || stopped.Load() || ctx.Err() != nil {
 					<-tokens
 					return
 				}
@@ -360,6 +429,17 @@ func streamOrdered[T any](n, parallelism int, fn func(i int) T, emit func(i int,
 			}
 			<-tokens
 			continue
+		}
+		if !doomed && ctx.Err() != nil {
+			// Graceful shutdown: stop claiming and emitting, but keep
+			// draining so every worker's in-flight result releases its
+			// token and the pool exits cleanly.
+			doomed = true
+			stopped.Store(true)
+			for k := range pending {
+				delete(pending, k)
+				<-tokens
+			}
 		}
 		if doomed || firstPanic != nil {
 			<-tokens // discard; the stream is already over

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -177,7 +178,7 @@ func TestStreamOrderedEmitsInOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 7, n, n + 13} {
 		var calls atomic.Int64
 		next := 0
-		streamOrdered(n, workers, func(i int) int {
+		streamOrdered(context.Background(), n, workers, func(i int) int {
 			calls.Add(1)
 			return i * i
 		}, func(i, v int) bool {
@@ -211,7 +212,7 @@ func TestStreamOrderedBoundsReorderWindow(t *testing.T) {
 	release := make(chan struct{})
 	var maxEarly atomic.Int64
 	emitted := false
-	streamOrdered(n, workers, func(i int) int {
+	streamOrdered(context.Background(), n, workers, func(i int) int {
 		if i == 0 {
 			<-release // everything else must wait on the semaphore
 		} else {
@@ -248,7 +249,7 @@ func TestStreamOrderedCancel(t *testing.T) {
 	const n, stopAt = 50, 5
 	var calls atomic.Int64
 	emitted := 0
-	streamOrdered(n, 1, func(i int) int {
+	streamOrdered(context.Background(), n, 1, func(i int) int {
 		calls.Add(1)
 		return i
 	}, func(i, v int) bool {
@@ -261,7 +262,7 @@ func TestStreamOrderedCancel(t *testing.T) {
 
 	calls.Store(0)
 	emitted = 0
-	streamOrdered(n, 4, func(i int) int {
+	streamOrdered(context.Background(), n, 4, func(i int) int {
 		calls.Add(1)
 		return i
 	}, func(i, v int) bool {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,20 @@ func cell(label string, cfg core.Config, spec workload.Spec) Cell {
 // inside any cell is captured and re-raised on the calling goroutine,
 // prefixed with the cell's label.
 func RunCells(cells []Cell, m Mode) []core.Metrics {
+	out, err := RunCellsCtx(context.Background(), cells, m)
+	if err != nil {
+		// Unreachable with a background context: RunCellsCtx only errors
+		// on cancellation.
+		panic("experiments: " + err.Error())
+	}
+	return out
+}
+
+// RunCellsCtx is RunCells with graceful shutdown: cancelling ctx stops
+// workers from claiming further cells, drains in-flight simulations,
+// and returns ctx.Err() — the cancellation path shared with the grid's
+// streaming pool, for signal-driven sweep teardown.
+func RunCellsCtx(ctx context.Context, cells []Cell, m Mode) ([]core.Metrics, error) {
 	out := make([]core.Metrics, len(cells))
 	workers := m.Parallelism
 	if workers <= 0 {
@@ -46,9 +61,12 @@ func RunCells(cells []Cell, m Mode) []core.Metrics {
 	}
 	if workers <= 1 {
 		for i, c := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i] = runCell(c, m)
 		}
-		return out
+		return out, nil
 	}
 
 	var (
@@ -64,10 +82,10 @@ func RunCells(cells []Cell, m Mode) []core.Metrics {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				// Once any cell has failed the batch's results will be
-				// discarded, so stop claiming work instead of simulating
-				// the rest of the grid.
-				if i >= len(cells) || failed.Load() {
+				// Once any cell has failed (or the run is cancelled) the
+				// batch's results will be discarded, so stop claiming work
+				// instead of simulating the rest of the grid.
+				if i >= len(cells) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				func() {
@@ -88,7 +106,10 @@ func RunCells(cells []Cell, m Mode) []core.Metrics {
 			panic(r) // already labeled by runCell
 		}
 	}
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // runCell builds, warms, and measures one cell, like runOne but with the

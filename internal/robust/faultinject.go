@@ -1,0 +1,214 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Deterministic fault injection. An Injector decides, per (site, cell
+// index, attempt), whether to inject a fault — a panic or a stall past
+// the watchdog deadline — as a pure function of its seed, never of
+// execution order or timing, so an injected run replays identically at
+// any parallelism and a fault-differential test can compare against a
+// clean run cell for cell. Randomized decisions draw from the sim RNG
+// (the simulator's own xorshift64*, identical across Go versions);
+// directed tests pin exact cells with the explicit Plan maps.
+
+// FaultKind classifies an injected fault.
+type FaultKind int
+
+const (
+	FaultNone FaultKind = iota
+	// FaultPanic panics inside the cell (the recoverable failure class).
+	FaultPanic
+	// FaultStall sleeps past the watchdog deadline (the timeout class).
+	FaultStall
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind  FaultKind
+	Stall time.Duration // for FaultStall
+}
+
+// Plan configures what an Injector injects.
+type Plan struct {
+	// PanicProb and StallProb are per-(site,index,attempt) probabilities,
+	// decided by one seeded draw (panic wins ties).
+	PanicProb float64
+	StallProb float64
+	// StallFor is the injected stall length for probabilistic stalls.
+	StallFor time.Duration
+	// MaxAttempt, when > 0, exempts attempts >= MaxAttempt from
+	// probabilistic faults — "transient" faults that retries outlast.
+	MaxAttempt int
+
+	// PanicCells pins exact cells: index -> fail that many leading
+	// attempts (a negative count means every attempt).
+	PanicCells map[int]int
+	// StallCells pins exact cells to stall for the given duration on
+	// every attempt.
+	StallCells map[int]time.Duration
+}
+
+// ErrStallInterrupted is the panic value an injected stall raises when
+// its context is cancelled mid-sleep (watchdog deadline or shutdown):
+// the abandoned attempt unwinds promptly instead of sleeping on, which
+// is what keeps fault-injection tests free of lingering goroutines.
+var ErrStallInterrupted = errors.New("robust: injected stall interrupted by cancellation")
+
+// Injector injects deterministic faults. The nil *Injector is valid and
+// injects nothing, so production paths call it unconditionally.
+type Injector struct {
+	seed       uint64
+	plan       Plan
+	panicBound float64
+	bothBound  float64
+
+	fires    atomic.Int64
+	injected atomic.Int64
+}
+
+// NewInjector builds an injector for plan, seeded like the simulator's
+// own RNGs.
+func NewInjector(seed uint64, plan Plan) *Injector {
+	return &Injector{
+		seed:       seed,
+		plan:       plan,
+		panicBound: plan.PanicProb,
+		bothBound:  plan.PanicProb + plan.StallProb,
+	}
+}
+
+// Decide returns the fault for (site, index, attempt) without applying
+// it — a pure, order-independent function of the injector's seed.
+func (in *Injector) Decide(site string, index, attempt int) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	if n, ok := in.plan.PanicCells[index]; ok && (n < 0 || attempt < n) {
+		return Fault{Kind: FaultPanic}
+	}
+	if d, ok := in.plan.StallCells[index]; ok {
+		return Fault{Kind: FaultStall, Stall: d}
+	}
+	if in.bothBound <= 0 {
+		return Fault{}
+	}
+	if in.plan.MaxAttempt > 0 && attempt >= in.plan.MaxAttempt {
+		return Fault{}
+	}
+	// One seeded draw per decision point. Mixing site/index/attempt
+	// through SplitMix64-style avalanching (sim.RNG.Fork's recipe) keeps
+	// distinct points statistically independent while remaining exactly
+	// replayable.
+	h := in.seed
+	h = mix(h ^ fnv64(site))
+	h = mix(h ^ uint64(index)*0x9E3779B97F4A7C15)
+	h = mix(h ^ uint64(attempt)*0xBF58476D1CE4E5B9)
+	f := sim.NewRNG(h).Float64()
+	switch {
+	case f < in.panicBound:
+		return Fault{Kind: FaultPanic}
+	case f < in.bothBound:
+		return Fault{Kind: FaultStall, Stall: in.plan.StallFor}
+	default:
+		return Fault{}
+	}
+}
+
+// Fire applies the decision for (site, index, attempt): it panics with a
+// labeled message, sleeps the injected stall (panicking
+// ErrStallInterrupted if ctx cancels first), or returns immediately. It
+// also counts every call, which tests use to verify how many cell
+// attempts a resumed sweep really ran.
+func (in *Injector) Fire(ctx context.Context, site string, index, attempt int) {
+	if in == nil {
+		return
+	}
+	in.fires.Add(1)
+	f := in.Decide(site, index, attempt)
+	switch f.Kind {
+	case FaultPanic:
+		in.injected.Add(1)
+		panic(fmt.Sprintf("robust: injected panic at %s[%d] attempt %d", site, index, attempt))
+	case FaultStall:
+		in.injected.Add(1)
+		t := time.NewTimer(f.Stall)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			panic(ErrStallInterrupted)
+		}
+	}
+}
+
+// Fires returns how many times Fire has been called (one per cell
+// attempt at an instrumented site).
+func (in *Injector) Fires() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.fires.Load()
+}
+
+// Injected returns how many faults have actually been applied.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.injected.Load()
+}
+
+// TruncateTail chops the last n bytes off the file at path — the
+// journal-corruption fault: a torn final entry as a crash mid-append
+// would leave it.
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// mix is the SplitMix64 finalizer — the same avalanche sim.RNG.Fork
+// uses to separate derived streams.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fnv64 is FNV-1a over s.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

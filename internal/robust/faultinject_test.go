@@ -1,0 +1,187 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Decide must be a pure function of (seed, site, index, attempt):
+// identical answers regardless of query order or concurrency.
+func TestInjectorDecideIsOrderIndependent(t *testing.T) {
+	plan := Plan{PanicProb: 0.2, StallProb: 0.2, StallFor: time.Millisecond}
+	a := NewInjector(42, plan)
+	b := NewInjector(42, plan)
+
+	type point struct {
+		site           string
+		index, attempt int
+	}
+	var pts []point
+	for _, site := range []string{"cell", "journal"} {
+		for idx := 0; idx < 50; idx++ {
+			for at := 0; at < 3; at++ {
+				pts = append(pts, point{site, idx, at})
+			}
+		}
+	}
+	// Query a forward, b backward and concurrently.
+	want := make([]Fault, len(pts))
+	for i, p := range pts {
+		want[i] = a.Decide(p.site, p.index, p.attempt)
+	}
+	got := make([]Fault, len(pts))
+	var wg sync.WaitGroup
+	for i := len(pts) - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = b.Decide(pts[i].site, pts[i].index, pts[i].attempt)
+		}(i)
+	}
+	wg.Wait()
+	for i := range pts {
+		if got[i] != want[i] {
+			t.Fatalf("Decide(%+v) differs between query orders: %+v vs %+v", pts[i], want[i], got[i])
+		}
+	}
+}
+
+func TestInjectorSeedAndSiteChangeDecisions(t *testing.T) {
+	plan := Plan{PanicProb: 0.5}
+	a, b := NewInjector(1, plan), NewInjector(2, plan)
+	diff := 0
+	for idx := 0; idx < 200; idx++ {
+		if a.Decide("cell", idx, 0) != b.Decide("cell", idx, 0) {
+			diff++
+		}
+		if a.Decide("cell", idx, 0) != a.Decide("journal", idx, 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed and site have no effect on decisions")
+	}
+}
+
+// Probabilistic rates must land near the plan's probabilities — the
+// draw is uniform over distinct decision points.
+func TestInjectorProbabilisticRates(t *testing.T) {
+	in := NewInjector(7, Plan{PanicProb: 0.25, StallProb: 0.25, StallFor: time.Millisecond})
+	const n = 4000
+	var panics, stalls int
+	for idx := 0; idx < n; idx++ {
+		switch in.Decide("cell", idx, 0).Kind {
+		case FaultPanic:
+			panics++
+		case FaultStall:
+			stalls++
+		}
+	}
+	for name, got := range map[string]int{"panic": panics, "stall": stalls} {
+		frac := float64(got) / n
+		if frac < 0.20 || frac > 0.30 {
+			t.Errorf("%s rate %.3f, want ~0.25", name, frac)
+		}
+	}
+}
+
+func TestInjectorExplicitCells(t *testing.T) {
+	in := NewInjector(0, Plan{
+		PanicCells: map[int]int{3: 2, 9: -1},
+		StallCells: map[int]time.Duration{5: 40 * time.Millisecond},
+	})
+	// Cell 3 fails its first two attempts, then succeeds (transient).
+	for at, want := range []FaultKind{FaultPanic, FaultPanic, FaultNone, FaultNone} {
+		if got := in.Decide("cell", 3, at).Kind; got != want {
+			t.Errorf("cell 3 attempt %d: %v, want %v", at, got, want)
+		}
+	}
+	// Cell 9 fails every attempt (hard fault).
+	if in.Decide("cell", 9, 100).Kind != FaultPanic {
+		t.Error("cell 9 attempt 100 should panic")
+	}
+	// Cell 5 stalls with the pinned duration.
+	if f := in.Decide("cell", 5, 0); f.Kind != FaultStall || f.Stall != 40*time.Millisecond {
+		t.Errorf("cell 5: %+v", f)
+	}
+	// Unpinned cells are clean (no probabilistic component in this plan).
+	if in.Decide("cell", 0, 0).Kind != FaultNone {
+		t.Error("unpinned cell faulted")
+	}
+}
+
+// MaxAttempt models transient faults: retries at or past it are exempt
+// from probabilistic injection, so a retry budget always wins.
+func TestInjectorMaxAttemptExemptsRetries(t *testing.T) {
+	in := NewInjector(11, Plan{PanicProb: 1.0, MaxAttempt: 2})
+	if in.Decide("cell", 0, 0).Kind != FaultPanic || in.Decide("cell", 0, 1).Kind != FaultPanic {
+		t.Fatal("attempts below MaxAttempt should fault at prob 1")
+	}
+	if in.Decide("cell", 0, 2).Kind != FaultNone {
+		t.Fatal("attempt >= MaxAttempt should be exempt")
+	}
+	// Explicit pins ignore MaxAttempt — they state their own attempt count.
+	pin := NewInjector(0, Plan{MaxAttempt: 1, PanicCells: map[int]int{0: -1}})
+	if pin.Decide("cell", 0, 5).Kind != FaultPanic {
+		t.Fatal("pinned cell must fault regardless of MaxAttempt")
+	}
+}
+
+func TestInjectorFirePanicsWithLabel(t *testing.T) {
+	in := NewInjector(0, Plan{PanicCells: map[int]int{4: -1}})
+	got := func() (msg string) {
+		defer func() { msg = fmt.Sprint(recover()) }()
+		in.Fire(context.Background(), "cell", 4, 1)
+		return ""
+	}()
+	if !strings.Contains(got, "injected panic at cell[4] attempt 1") {
+		t.Fatalf("panic message %q", got)
+	}
+	if in.Fires() != 1 || in.Injected() != 1 {
+		t.Fatalf("Fires=%d Injected=%d, want 1/1", in.Fires(), in.Injected())
+	}
+	// A clean cell fires (counted) without injecting.
+	in.Fire(context.Background(), "cell", 0, 0)
+	if in.Fires() != 2 || in.Injected() != 1 {
+		t.Fatalf("after clean fire: Fires=%d Injected=%d, want 2/1", in.Fires(), in.Injected())
+	}
+}
+
+// A cancelled context must interrupt an injected stall promptly, via the
+// ErrStallInterrupted panic — this is what prevents abandoned watchdog
+// attempts from leaking goroutines.
+func TestInjectorStallInterruptedByCancel(t *testing.T) {
+	in := NewInjector(0, Plan{StallCells: map[int]time.Duration{0: time.Hour}})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		in.Fire(ctx, "cell", 0, 0)
+		done <- nil
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case v := <-done:
+		if v != ErrStallInterrupted {
+			t.Fatalf("stall unwound with %v, want ErrStallInterrupted", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled stall did not unwind")
+	}
+}
+
+func TestInjectorNilIsInert(t *testing.T) {
+	var in *Injector
+	if f := in.Decide("cell", 0, 0); f.Kind != FaultNone {
+		t.Fatal("nil injector decided a fault")
+	}
+	in.Fire(context.Background(), "cell", 0, 0) // must not panic
+	if in.Fires() != 0 || in.Injected() != 0 {
+		t.Fatal("nil injector counted")
+	}
+}

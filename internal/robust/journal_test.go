@@ -1,0 +1,174 @@
+package robust
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testRecord struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func openTestJournal(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestJournalAppendAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jl")
+	j := openTestJournal(t, path)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(Key("k", string(rune('a'+i))), testRecord{N: i, S: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", j.Len())
+	}
+	j.Close()
+
+	r := openTestJournal(t, path)
+	if r.Len() != 5 || r.DroppedBytes() != 0 {
+		t.Fatalf("reload: Len=%d dropped=%d, want 5/0", r.Len(), r.DroppedBytes())
+	}
+	var rec testRecord
+	if err := json.Unmarshal(r.Entries()[Key("k", "c")], &rec); err != nil || rec.N != 2 {
+		t.Fatalf("entry c = %+v err=%v, want n=2", rec, err)
+	}
+}
+
+// The crash-safety contract: a torn final line (crash mid-append) is
+// detected, dropped, and truncated away, and the journal keeps working.
+func TestJournalTornTailRepaired(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jl")
+	j := openTestJournal(t, path)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Key(string(rune('a'+i))), testRecord{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the tail mid-line, as a crash between write and newline would.
+	if err := TruncateTail(path, 7); err != nil {
+		t.Fatal(err)
+	}
+	r := openTestJournal(t, path)
+	if r.Len() != 2 {
+		t.Fatalf("after torn tail: Len = %d, want 2", r.Len())
+	}
+	if r.DroppedBytes() == 0 {
+		t.Fatal("repair did not report dropped bytes")
+	}
+	// The file itself must be repaired so the next append starts a clean
+	// line.
+	if err := r.Append(Key("c"), testRecord{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(repaired) != string(intact) {
+		t.Fatalf("repair + reappend diverged from the intact journal:\nwant %q\ngot  %q", intact, repaired)
+	}
+}
+
+// A corrupt line ends the usable prefix: later (even well-formed) lines
+// are dropped rather than merged across a corruption.
+func TestJournalCorruptLineEndsPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jl")
+	good1 := `{"key":"aaa","record":{"n":1}}` + "\n"
+	bad := `{"key":` + "\n"
+	good2 := `{"key":"bbb","record":{"n":2}}` + "\n"
+	if err := os.WriteFile(path, []byte(good1+bad+good2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := openTestJournal(t, path)
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (prefix before the corrupt line)", j.Len())
+	}
+	if j.DroppedBytes() != len(bad)+len(good2) {
+		t.Fatalf("dropped %d bytes, want %d", j.DroppedBytes(), len(bad)+len(good2))
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(good1)) {
+		t.Fatalf("file not truncated to the valid prefix: %d bytes, want %d", fi.Size(), len(good1))
+	}
+}
+
+func TestJournalClear(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jl")
+	j := openTestJournal(t, path)
+	if err := j.Append(Key("a"), testRecord{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", j.Len())
+	}
+	if err := j.Append(Key("b"), testRecord{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	r := openTestJournal(t, path)
+	if r.Len() != 1 {
+		t.Fatalf("reload after Clear: Len = %d, want 1", r.Len())
+	}
+	if _, ok := r.Entries()[Key("a")]; ok {
+		t.Fatal("cleared entry survived")
+	}
+}
+
+// Concurrent appends (worker goroutines journal in completion order)
+// must neither interleave bytes nor lose entries.
+func TestJournalConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jl")
+	j := openTestJournal(t, path)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append(Key("k", string(rune(i))), testRecord{N: i, S: strings.Repeat("x", i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+	r := openTestJournal(t, path)
+	if r.Len() != n || r.DroppedBytes() != 0 {
+		t.Fatalf("Len=%d dropped=%d, want %d/0", r.Len(), r.DroppedBytes(), n)
+	}
+}
+
+func TestJournalAppendAfterCloseErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jl")
+	j := openTestJournal(t, path)
+	j.Close()
+	if err := j.Append(Key("a"), testRecord{}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}

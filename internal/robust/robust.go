@@ -1,0 +1,127 @@
+// Package robust is the fault-tolerance layer for long-running sweeps:
+// failure policies and deterministic retry backoff, a crash-safe
+// append-only journal with torn-tail repair, atomic file replacement,
+// deterministic panic-stack digests, and a seeded fault-injection
+// harness for exercising all of it in tests and CI.
+//
+// The package deliberately knows nothing about simulations or grids —
+// internal/experiments composes these primitives into its fault-tolerant
+// cell executor, and the planned distributed sweep runner (ROADMAP) will
+// speak the same journal/retry/deadline protocol per shard.
+//
+// Determinism contract: every decision this package makes (backoff
+// delays, injected faults, journal keys, stack digests) is a pure
+// function of its declared inputs — never of wall-clock time, goroutine
+// identity, or execution order — so a retried or resumed sweep emits
+// exactly the numbers an uninterrupted one would.
+package robust
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FailPolicy selects what a sweep does when a cell permanently fails
+// (its retries are exhausted).
+type FailPolicy int
+
+const (
+	// FailFast aborts the whole sweep on the first permanently failed
+	// cell — the historical behavior.
+	FailFast FailPolicy = iota
+	// SkipFailed records a structured error for the failed cell and
+	// continues with the rest of the sweep.
+	SkipFailed
+)
+
+func (p FailPolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail"
+	case SkipFailed:
+		return "skip"
+	default:
+		return fmt.Sprintf("FailPolicy(%d)", int(p))
+	}
+}
+
+// ParseFailPolicy parses the CLI spelling of a policy ("fail" or
+// "skip", case-insensitive).
+func ParseFailPolicy(s string) (FailPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fail":
+		return FailFast, nil
+	case "skip":
+		return SkipFailed, nil
+	default:
+		return FailFast, fmt.Errorf("unknown failure policy %q (want fail or skip)", s)
+	}
+}
+
+// Backoff is a deterministic capped exponential backoff: retry r waits
+// Base<<r, capped at Cap. No jitter — two runs of the same sweep retry
+// on the same schedule, which keeps fault-injected differential tests
+// reproducible. The zero value waits nothing.
+type Backoff struct {
+	Base time.Duration
+	// Cap bounds the exponential growth; <= 0 means no cap.
+	Cap time.Duration
+}
+
+// Delay returns the wait before re-attempt r (r = 0 is the first
+// retry).
+func (b Backoff) Delay(retry int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	if retry > 30 { // Base<<31 overflows any sane Base; the cap rules anyway
+		retry = 30
+	}
+	d := b.Base << uint(retry)
+	if d <= 0 || (b.Cap > 0 && d > b.Cap) {
+		if b.Cap > 0 {
+			return b.Cap
+		}
+		return b.Base
+	}
+	return d
+}
+
+// Sleep waits Delay(retry) or until ctx is cancelled, returning the
+// context's error in the latter case.
+func (b Backoff) Sleep(ctx context.Context, retry int) error {
+	d := b.Delay(retry)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Key derives a stable content-hash key from its parts: SHA-256 over
+// the length-prefixed parts (so ("ab","c") and ("a","bc") cannot
+// collide), hex-encoded and truncated to 32 characters (128 bits).
+// Journal entries are keyed this way: the parts encode everything the
+// recorded result depends on — cell identity, sweep mode, and a
+// code-version salt bumped whenever simulation semantics change.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}

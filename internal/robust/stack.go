@@ -1,0 +1,57 @@
+package robust
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Digest fingerprints a panicking call chain from a runtime/debug.Stack
+// dump: a 16-hex-digit hash of the function names between the panic
+// site and the recovery frame. Two failures with the same digest broke
+// in the same place — the triage key for structured error records in a
+// sweep's JSON-lines output.
+//
+// Determinism: raw stack dumps differ across goroutines (goroutine
+// header), runs (argument pointer values) and call contexts (frames
+// below the recovery point — a worker-pool chain at parallelism 8 looks
+// nothing like the sequential chain). Digest strips all three: it drops
+// the header, file:line/offset lines, and argument lists, skips
+// everything up to and including runtime.gopanic (the deferred-recovery
+// side of the dump), and stops at the first frame whose function name
+// contains stop (the recovery function). What remains — the panic
+// site's own call chain — is identical at any parallelism, so error
+// records survive the grid's byte-identical golden determinism test.
+func Digest(stack []byte, stop string) string {
+	h := fnv.New64a()
+	lines := bytes.Split(stack, []byte("\n"))
+	past := false // past runtime.gopanic, into the panicking chain
+	for _, ln := range lines {
+		if len(ln) == 0 || ln[0] == '\t' || ln[0] == ' ' {
+			continue // file:line/offset lines and the header's continuation
+		}
+		s := string(ln)
+		if strings.HasPrefix(s, "goroutine ") {
+			continue
+		}
+		// A frame line is "pkg.Func(args...)" or "created by ..."; the
+		// function name is everything before the final '('.
+		name := s
+		if i := strings.LastIndexByte(s, '('); i >= 0 {
+			name = s[:i]
+		}
+		if !past {
+			if name == "runtime.gopanic" || name == "panic" {
+				past = true
+			}
+			continue
+		}
+		if stop != "" && strings.Contains(name, stop) {
+			break
+		}
+		h.Write([]byte(name))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

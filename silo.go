@@ -107,11 +107,13 @@ var (
 	// ScaleOutSuite and EnterpriseSuite return the paper's suites.
 	ScaleOutSuite   = workload.ScaleOutSuite
 	EnterpriseSuite = workload.EnterpriseSuite
-	// Spec2006 returns a named SPEC CPU2006 benchmark model; Spec06Mixes
-	// the paper's ten 4-core mixes.
-	Spec2006    = workload.Spec2006
-	Spec06Mixes = workload.Spec06Mixes
-	MixSpecs    = workload.MixSpecs
+	// Spec2006 returns a named SPEC CPU2006 benchmark model (panicking on
+	// unknown names — check Spec2006Names first for user input);
+	// Spec06Mixes the paper's ten 4-core mixes.
+	Spec2006      = workload.Spec2006
+	Spec2006Names = workload.Spec2006Names
+	Spec06Mixes   = workload.Spec06Mixes
+	MixSpecs      = workload.MixSpecs
 )
 
 // System wraps the simulated machine: cores driving workload streams over
