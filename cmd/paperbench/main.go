@@ -43,6 +43,9 @@ type cliConfig struct {
 	parallel       int
 	benchJSON      bool
 	benchBaseline  string
+	checkpointDir  string
+	checkpointLS   bool
+	checkpointGC   int
 	grid           string
 	gridWindows    int
 	gridConfidence float64
@@ -64,6 +67,9 @@ func main() {
 	flag.IntVar(&c.parallel, "parallel", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
 	flag.BoolVar(&c.benchJSON, "bench-json", false, "write a BENCH_<date>.json performance snapshot and exit (never clobbers an existing snapshot: a b/c/... suffix is added)")
 	flag.StringVar(&c.benchBaseline, "bench-baseline", "", "with -bench-json: compare the new snapshot's probe metrics against this baseline BENCH_*.json and exit non-zero on a >2x regression (the CI gate)")
+	flag.StringVar(&c.checkpointDir, "checkpoint-dir", "", "restore warmed systems from this directory when a matching warm-state checkpoint exists, and save one after every cold warm-up (DESIGN.md §11); results are bit-identical either way")
+	flag.BoolVar(&c.checkpointLS, "checkpoint-ls", false, "with -checkpoint-dir: list the directory's checkpoints (key, size, age, header metadata) and exit")
+	flag.IntVar(&c.checkpointGC, "checkpoint-gc", -1, "with -checkpoint-dir: prune checkpoints older than N days or with a stale/corrupt format header, then exit (0 prunes everything)")
 	flag.StringVar(&c.grid, "grid", "", `batch mode: stream a (system x workload x override) grid as JSON-lines, e.g. "systems=Baseline,SILO;workloads=WebSearch,DataServing;overrides=scale=64|llc_mb=64"`)
 	flag.IntVar(&c.gridWindows, "grid-windows", 0, "with -grid: measurement windows per cell (the CI sample count; 0 = default)")
 	flag.Float64Var(&c.gridConfidence, "grid-confidence", 0, "with -grid: confidence level for the per-cell IPC interval (0 = 0.95)")
@@ -113,11 +119,31 @@ func run(c cliConfig) int {
 		}()
 	}
 
+	if c.checkpointLS || c.checkpointGC >= 0 {
+		if c.checkpointDir == "" {
+			fmt.Fprintln(os.Stderr, "checkpoint: -checkpoint-ls/-checkpoint-gc need -checkpoint-dir <dir>")
+			return 2
+		}
+		if c.checkpointLS {
+			return runCheckpointLS(c.checkpointDir)
+		}
+		return runCheckpointGC(c.checkpointDir, c.checkpointGC)
+	}
+
 	mode := experiments.Quick()
 	if c.full {
 		mode = experiments.Full()
 	}
 	mode.Parallelism = c.parallel
+	var ckptStats experiments.CheckpointStats
+	if c.checkpointDir != "" {
+		mode.CheckpointDir = c.checkpointDir
+		mode.Checkpoints = &ckptStats
+		defer func() {
+			fmt.Fprintf(os.Stderr, "[checkpoint: restored %d, cold %d, saved %d (%d save errors) in %s]\n",
+				ckptStats.Hits.Load(), ckptStats.Misses.Load(), ckptStats.Saves.Load(), ckptStats.SaveErrs.Load(), c.checkpointDir)
+		}()
+	}
 
 	if c.benchJSON {
 		if err := writeBenchSnapshot(mode, c.benchBaseline); err != nil {
@@ -472,9 +498,12 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 	snap.SystemThroughput.AllocsPerOp = float64(memEnd.Mallocs-memBeg.Mallocs) / float64(iters)
 
 	// Paper-scale throughput points (warm-up dominates; measured after the
-	// Scale-32 probe so the two share no warm state).
+	// Scale-32 probe so the two share no warm state). With -checkpoint-dir
+	// the warm state restores from a prior snapshot run's checkpoint,
+	// recorded per point as restore_sec/checkpoint_hit.
 	for _, scale := range experiments.PaperScales {
-		snap.SystemThroughputPaperScale = append(snap.SystemThroughputPaperScale, experiments.RunPaperScaleProbe(scale))
+		snap.SystemThroughputPaperScale = append(snap.SystemThroughputPaperScale,
+			experiments.RunPaperScaleProbeCkpt(scale, mode.CheckpointDir, mode.Checkpoints))
 	}
 
 	// Fig 10 suite wall-clock through the concurrent runner.
@@ -502,8 +531,12 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 		snap.StreamProbe.SerialNsPerOp, snap.StreamProbe.BatchedNsPerOp,
 		snap.SystemThroughput.NsPerOp/1e6, snap.SystemThroughput.AllocsPerOp, snap.Fig10.NsPerOp/1e9, snap.Fig10.SiloGeomeanX)
 	for _, p := range snap.SystemThroughputPaperScale {
-		fmt.Fprintf(os.Stderr, "  paperscale scale=%d: %.2fms/op, %.0f instr/iter, %d table entries (%.0f MB inline, warm %.1fs)\n",
-			p.Scale, p.NsPerOp/1e6, p.InstrPerIter, p.LineTableEntries, float64(p.LineTableBytes)/(1<<20), p.WarmupSec)
+		warmNote := fmt.Sprintf("warm %.1fs", p.WarmupSec)
+		if p.CheckpointHit {
+			warmNote = fmt.Sprintf("restored %.2fs", p.RestoreSec)
+		}
+		fmt.Fprintf(os.Stderr, "  paperscale scale=%d: %.2fms/op, %.0f instr/iter, %d table entries (%.0f MB inline, %s)\n",
+			p.Scale, p.NsPerOp/1e6, p.InstrPerIter, p.LineTableEntries, float64(p.LineTableBytes)/(1<<20), warmNote)
 	}
 
 	if baseline != "" {

@@ -1,0 +1,64 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// Snapshot serializes the Array's mutable state: packed slot words,
+// per-set recency counters, way hints, occupancy, and the random-
+// replacement xorshift state. Geometry (sets/ways/policy/shift) is
+// written only to be validated on Restore — the restoring Array is
+// always freshly constructed from the live Config.
+func (a *Array) Snapshot(w *checkpoint.Writer) {
+	w.Section("cache.Array")
+	w.U64(uint64(a.sets))
+	w.U64(uint64(a.ways))
+	w.U8(uint8(a.policy))
+	w.U64(uint64(a.shift))
+	w.Bool(a.lru)
+	w.U64(a.rndst)
+	w.I64(int64(a.occupied))
+	w.U64s(a.slots)
+	w.U32s(a.setTick)
+	w.U8s(a.hint)
+}
+
+// Restore overwrites a freshly constructed Array with snapshotted
+// state. Any geometry mismatch — the checkpoint was cut for a different
+// configuration — is an error, never a panic.
+func (a *Array) Restore(r *checkpoint.Reader) error {
+	if err := r.Section("cache.Array"); err != nil {
+		return err
+	}
+	sets, ways := int(r.U64()), int(r.U64())
+	policy := Policy(r.U8())
+	shift := uint(r.U64())
+	lru := r.Bool()
+	rndst := r.U64()
+	occupied := int(r.I64())
+	slots := r.U64s()
+	setTick := r.U32s()
+	hint := r.U8s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != a.sets || ways != a.ways || policy != a.policy || shift != a.shift || lru != a.lru {
+		return fmt.Errorf("cache: checkpoint geometry %d sets x %d ways policy %d shift %d lru %v, array has %d x %d policy %d shift %d lru %v",
+			sets, ways, policy, shift, lru, a.sets, a.ways, a.policy, a.shift, a.lru)
+	}
+	if len(slots) != len(a.slots) || len(setTick) != len(a.setTick) || len(hint) != len(a.hint) {
+		return fmt.Errorf("cache: checkpoint slab sizes %d/%d/%d, array has %d/%d/%d",
+			len(slots), len(setTick), len(hint), len(a.slots), len(a.setTick), len(a.hint))
+	}
+	if occupied < 0 || occupied > len(slots) {
+		return fmt.Errorf("cache: checkpoint occupancy %d outside [0,%d]", occupied, len(slots))
+	}
+	copy(a.slots, slots)
+	copy(a.setTick, setTick)
+	copy(a.hint, hint)
+	a.occupied = occupied
+	a.rndst = rndst
+	return nil
+}

@@ -1,0 +1,219 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTripScalarsAndSlices(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("test")
+	w.U64(0xDEADBEEFCAFEF00D)
+	w.U32(0x1234ABCD)
+	w.U8(0x7F)
+	w.I64(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello, checkpoint")
+	w.Bytes([]byte{1, 2, 3})
+	u64s := make([]uint64, 10_000) // spans multiple bulk chunks
+	for i := range u64s {
+		u64s[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	w.U64s(u64s)
+	u32s := make([]uint32, 20_001)
+	for i := range u32s {
+		u32s[i] = uint32(i) * 2654435761
+	}
+	w.U32s(u32s)
+	w.U64s(nil)
+	if err := w.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if err := r.Section("test"); err != nil {
+		t.Fatalf("Section: %v", err)
+	}
+	if got := r.U64(); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := r.U32(); got != 0x1234ABCD {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U8(); got != 0x7F {
+		t.Fatalf("U8 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatalf("Bool round trip failed")
+	}
+	if got := r.String(); got != "hello, checkpoint" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := r.U64s(); !reflect.DeepEqual(got, u64s) {
+		t.Fatalf("U64s mismatch")
+	}
+	if got := r.U32s(); !reflect.DeepEqual(got, u32s) {
+		t.Fatalf("U32s mismatch")
+	}
+	if got := r.U64s(); len(got) != 0 {
+		t.Fatalf("empty U64s = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Reader.Finish: %v", err)
+	}
+}
+
+func TestSectionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("alpha")
+	w.Finish()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if err := r.Section("beta"); err == nil {
+		t.Fatal("section mismatch not detected")
+	}
+}
+
+func writeTestFile(t *testing.T, dir, key string) string {
+	t.Helper()
+	path := filepath.Join(dir, key+".ckpt")
+	err := Save(path, key, `{"test":true}`, func(w *Writer) error {
+		w.Section("payload")
+		for i := 0; i < 1000; i++ {
+			w.U64(uint64(i))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return path
+}
+
+func readAll(t *testing.T, path, key string) error {
+	t.Helper()
+	r, err := Open(path, key)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if err := r.Section("payload"); err != nil {
+		return err
+	}
+	for i := 0; i < 1000; i++ {
+		r.U64() // values are only trustworthy once Finish verifies the CRC
+	}
+	return r.Finish()
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFile(t, dir, "cafe0123")
+	if err := readAll(t, path, "cafe0123"); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	r, err := Open(path, "")
+	if err != nil {
+		t.Fatalf("Open without key: %v", err)
+	}
+	if r.Key != "cafe0123" || r.Meta != `{"test":true}` {
+		t.Fatalf("header Key=%q Meta=%q", r.Key, r.Meta)
+	}
+	r.Close()
+}
+
+func TestKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFile(t, dir, "cafe0123")
+	err := readAll(t, path, "0000ffff")
+	if !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("want ErrKeyMismatch, got %v", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFile(t, dir, "cafe0123")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) - 1, len(data) / 2, 20, 4} {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := readAll(t, path, "cafe0123"); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFile(t, dir, "cafe0123")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte (past magic+version+key+meta header); the
+	// CRC at Finish must catch it.
+	pos := len(data) - 100
+	data[pos] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAll(t, path, "cafe0123"); err == nil {
+		t.Fatal("flipped byte not detected")
+	}
+}
+
+func TestStaleVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFile(t, dir, "cafe0123")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(Magic)] = FormatVersion + 1 // bump the LE version field
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = readAll(t, path, "cafe0123")
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("want ErrVersionMismatch, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestFile(t, dir, "cafe0123")
+	data, _ := os.ReadFile(path)
+	data[0] = 'X'
+	os.WriteFile(path, data, 0o644)
+	if err := readAll(t, path, "cafe0123"); err == nil {
+		t.Fatal("bad magic not detected")
+	}
+}
+
+func TestCorruptSliceLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1 << 40) // absurd length prefix
+	w.Finish()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.U64s(); got != nil || r.Err() == nil {
+		t.Fatalf("corrupt length accepted: %v / %v", got, r.Err())
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/memctl"
@@ -31,6 +32,10 @@ type hierarchy interface {
 	lineTable() (entries, bytesPerSlot int)
 	// check validates internal invariants, returning "" when healthy.
 	check() string
+	// snapshot/restore serialize the hierarchy's mutable state through
+	// the per-component checkpoint seams (checkpoint.go, DESIGN.md §11).
+	snapshot(w *checkpoint.Writer)
+	restore(r *checkpoint.Reader) error
 }
 
 // System is one simulated machine: cores with workload streams over a

@@ -30,12 +30,19 @@ func ThroughputSystem() *core.System { return ThroughputSystemAt(32) }
 // capacity, coherence line tables with millions of live entries — that
 // the compact-slot stores target (DESIGN.md §8's scale note).
 func ThroughputSystemAt(scale int64) *core.System {
+	sys, _ := throughputSystemCkpt(scale, "", nil)
+	return sys
+}
+
+// throughputWarmInstr is the probe harness's functional warm-up length.
+const throughputWarmInstr = 100_000
+
+// throughputSystemCkpt is ThroughputSystemAt through the shared warm
+// harness, optionally restoring from / saving to a checkpoint dir.
+func throughputSystemCkpt(scale int64, ckptDir string, cs *CheckpointStats) (*core.System, WarmInfo) {
 	cfg := core.SILOConfig(16)
 	cfg.Scale = scale
-	sys := core.NewSystem(cfg, []workload.Spec{workload.WebSearch()})
-	sys.Prewarm()
-	sys.WarmFunctional(100_000)
-	return sys
+	return buildWarm(cfg, []workload.Spec{workload.WebSearch()}, throughputWarmInstr, ckptDir, cs, nil)
 }
 
 // PaperScales are the capacity scales the paper-scale throughput probe
@@ -60,6 +67,12 @@ type PaperScalePoint struct {
 	// WarmupSec is the host cost of building the warmed system — at paper
 	// scale it dominates, which is why the probe measures few rounds.
 	WarmupSec float64 `json:"warmup_sec"`
+	// RestoreSec is the wall time of restoring the warmed system from a
+	// checkpoint, and CheckpointHit records whether a restore happened.
+	// Zero/false when no checkpoint dir was configured or on a cold miss;
+	// WarmupSec then carries the cold build cost as before.
+	RestoreSec    float64 `json:"restore_sec"`
+	CheckpointHit bool    `json:"checkpoint_hit"`
 }
 
 // RunPaperScaleProbe builds the throughput harness at the given scale and
@@ -68,10 +81,19 @@ type PaperScalePoint struct {
 // small (2) and minWall short (500ms) because paper-scale warm-up, not
 // measurement, dominates the probe's host cost.
 func RunPaperScaleProbe(scale int64) PaperScalePoint {
+	return RunPaperScaleProbeCkpt(scale, "", nil)
+}
+
+// RunPaperScaleProbeCkpt is RunPaperScaleProbe with warm-state
+// checkpointing: when ckptDir is non-empty the warmed system is
+// restored from a prior run's checkpoint if one matches (recorded in
+// RestoreSec/CheckpointHit) and saved after a cold build.
+func RunPaperScaleProbeCkpt(scale int64, ckptDir string, cs *CheckpointStats) PaperScalePoint {
 	p := PaperScalePoint{Scale: scale}
-	t0 := time.Now()
-	sys := ThroughputSystemAt(scale)
-	p.WarmupSec = time.Since(t0).Seconds()
+	sys, wi := throughputSystemCkpt(scale, ckptDir, cs)
+	p.WarmupSec = wi.WarmupSec
+	p.RestoreSec = wi.RestoreSec
+	p.CheckpointHit = wi.Hit
 
 	const (
 		rounds  = 2

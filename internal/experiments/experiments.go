@@ -41,6 +41,15 @@ type Mode struct {
 	// forces sequential execution. Results are identical at any setting;
 	// only wall-clock time changes.
 	Parallelism int
+	// CheckpointDir, when non-empty, enables warm-state checkpointing
+	// (DESIGN.md §11): every runner restores warmed systems from the
+	// directory on key hit and saves them after cold builds. Restored
+	// systems are bit-identical to from-scratch ones, so results do not
+	// change; only warm-up wall-clock does.
+	CheckpointDir string
+	// Checkpoints, when non-nil, accumulates restore/save counters across
+	// the run (cmd/paperbench prints them after a grid).
+	Checkpoints *CheckpointStats
 }
 
 // Quick is the test/bench mode.
@@ -61,9 +70,7 @@ func Full() Mode {
 // reported metrics.
 func runOne(cfg core.Config, specs []workload.Spec, m Mode) core.Metrics {
 	cfg.Scale = m.Scale
-	sys := core.NewSystem(cfg, specs)
-	sys.Prewarm()
-	sys.WarmFunctional(m.WarmInstr)
+	sys, _ := buildWarm(cfg, specs, m.WarmInstr, m.CheckpointDir, m.Checkpoints, nil)
 	met := sys.Run(m.WarmCycles, m.MeasureCycles)
 	if msg := sys.CheckInvariants(); msg != "" {
 		panic("invariant violation: " + msg)

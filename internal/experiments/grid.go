@@ -272,12 +272,7 @@ func simulateCell(ctx context.Context, c gridCell, m Mode, inj *robust.Injector,
 	// abandoned attempts unwind instead of sleeping on).
 	inj.Fire(ctx, "cell", c.index, attempt)
 
-	ph.set("build")
-	sys := core.NewSystem(c.cfg, []workload.Spec{c.spec})
-	ph.set("prewarm")
-	sys.Prewarm()
-	ph.set("warm")
-	sys.WarmFunctional(m.WarmInstr)
+	sys, _ := buildWarm(c.cfg, []workload.Spec{c.spec}, m.WarmInstr, m.CheckpointDir, m.Checkpoints, ph)
 	ph.set("measure")
 	ws := sys.StreamWindows(m.WarmCycles, window)
 	var retired, llcAccesses, hits, misses uint64

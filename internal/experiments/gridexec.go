@@ -46,7 +46,7 @@ const (
 // parallelism levels too.
 type CellError struct {
 	Kind        string  `json:"kind"`  // panic | timeout
-	Phase       string  `json:"phase"` // enumerate | build | prewarm | warm | measure | check
+	Phase       string  `json:"phase"` // enumerate | restore | build | prewarm | warm | checkpoint | measure | check
 	Message     string  `json:"message,omitempty"`
 	StackDigest string  `json:"stack_digest,omitempty"`
 	Attempts    int     `json:"attempts"`

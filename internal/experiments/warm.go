@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/robust"
+	"repro/internal/workload"
+)
+
+// Shared build→Prewarm→WarmFunctional harness (previously copy-pasted
+// between runOne, ThroughputSystemAt and simulateCell) with transparent
+// warm-state checkpointing hung on it (DESIGN.md §11): when a
+// checkpoint directory is configured, buildWarm restores a warmed
+// system on key hit — skipping the functional warm-up that dominates
+// paper-scale host cost — and saves one on miss. A restored system is
+// bit-identical to a from-scratch build (core differential tests), so
+// callers cannot observe the difference except in wall-clock time.
+
+// CheckpointStats accumulates restore/save outcomes across a run (grid
+// cells update it concurrently; all fields are accessed atomically).
+type CheckpointStats struct {
+	Hits     atomic.Uint64 // warm state restored from a checkpoint
+	Misses   atomic.Uint64 // no usable checkpoint; built from scratch
+	Saves    atomic.Uint64 // checkpoints written after a cold build
+	SaveErrs atomic.Uint64 // best-effort saves that failed
+}
+
+// WarmInfo reports how one system was warmed.
+type WarmInfo struct {
+	// Hit is true when the warm state was restored from a checkpoint.
+	Hit bool
+	// RestoreSec is the checkpoint read+restore wall time (Hit only).
+	RestoreSec float64
+	// WarmupSec is the total wall time of the warm phase, whichever path
+	// produced it: cold build+Prewarm+WarmFunctional, or restore.
+	WarmupSec float64
+}
+
+// checkpointKeyConfig normalizes a Config to the fields that determine
+// warmed state. Functional warm-up never consults pure-latency scalars
+// — they shape the timed phase only — so sweep cells that differ only
+// in those (the Fig 2 LLC-latency sweep, RW-shared multipliers, hop
+// costs) share one checkpoint. Geometry-bearing sub-configs (vault
+// banks, memory channels, DRAM-cache pages) stay in the key: restore
+// validates slab lengths against them.
+func checkpointKeyConfig(cfg core.Config) core.Config {
+	cfg.L2Latency = 0
+	cfg.LLCBankLatency = 0
+	cfg.LLCExtraLatency = 0
+	cfg.RWSharedMult = 1
+	cfg.HopLatency = 0
+	cfg.LLCFixedOverhead = 0
+	return cfg
+}
+
+// CheckpointKey derives the content-hash key of the warm state produced
+// by (cfg, specs, warmInstr): the format generation, the normalized
+// config, every workload spec, and the functional warm-up length. Equal
+// keys mean bit-identical warmed systems.
+func CheckpointKey(cfg core.Config, specs []workload.Spec, warmInstr int) string {
+	parts := make([]string, 0, len(specs)+3)
+	parts = append(parts, checkpoint.FormatTag, fmt.Sprintf("%+v", checkpointKeyConfig(cfg)))
+	for _, sp := range specs {
+		parts = append(parts, fmt.Sprintf("%+v", sp))
+	}
+	parts = append(parts, fmt.Sprint(warmInstr))
+	return robust.Key(parts...)
+}
+
+// CheckpointPath is the file a key maps to inside a checkpoint dir.
+func CheckpointPath(dir, key string) string {
+	return filepath.Join(dir, key+".ckpt")
+}
+
+// checkpointMeta is the human-readable header blob -checkpoint-ls
+// prints; it carries the key's components so a directory listing is
+// self-describing.
+type checkpointMeta struct {
+	Kind      string   `json:"kind"`
+	Cores     int      `json:"cores"`
+	Scale     int64    `json:"scale"`
+	Seed      uint64   `json:"seed"`
+	Workloads []string `json:"workloads"`
+	WarmInstr int      `json:"warm_instr"`
+	Created   int64    `json:"created_unix"`
+}
+
+func buildMeta(cfg core.Config, specs []workload.Spec, warmInstr int) string {
+	m := checkpointMeta{
+		Kind:      cfg.Kind.String(),
+		Cores:     cfg.Cores,
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+		WarmInstr: warmInstr,
+		Created:   time.Now().Unix(),
+	}
+	for _, sp := range specs {
+		m.Workloads = append(m.Workloads, sp.Name)
+	}
+	b, _ := json.Marshal(m)
+	return string(b)
+}
+
+// buildWarm builds a system and brings it to the post-warm-up state:
+// restore from ckptDir on key hit, otherwise NewSystem + Prewarm +
+// WarmFunctional (and a best-effort checkpoint save when ckptDir is
+// set). cs and ph are optional (nil-safe). Every checkpoint failure
+// mode — missing file, torn file, flipped byte, stale version, foreign
+// key, geometry mismatch — falls back to the from-scratch path.
+func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir string, cs *CheckpointStats, ph *phaseTracker) (*core.System, WarmInfo) {
+	var info WarmInfo
+	t0 := time.Now()
+	var key, path string
+	if ckptDir != "" {
+		key = CheckpointKey(cfg, specs, warmInstr)
+		path = CheckpointPath(ckptDir, key)
+		ph.set("restore")
+		if r, err := checkpoint.Open(path, key); err == nil {
+			sys, rerr := core.NewSystemFromCheckpoint(cfg, specs, r)
+			r.Close()
+			if rerr == nil {
+				info.Hit = true
+				info.RestoreSec = time.Since(t0).Seconds()
+				info.WarmupSec = info.RestoreSec
+				if cs != nil {
+					cs.Hits.Add(1)
+				}
+				return sys, info
+			}
+		}
+		if cs != nil {
+			cs.Misses.Add(1)
+		}
+	}
+
+	ph.set("build")
+	sys := core.NewSystem(cfg, specs)
+	ph.set("prewarm")
+	sys.Prewarm()
+	ph.set("warm")
+	sys.WarmFunctional(warmInstr)
+	info.WarmupSec = time.Since(t0).Seconds()
+
+	if ckptDir != "" {
+		// Best-effort save: a full disk or unwritable dir must not fail
+		// the run that just paid for the warm-up. Concurrent saves of the
+		// same key (grid cells sharing warm state) are benign — each
+		// writes a private temp file and the atomic renames carry
+		// identical bytes.
+		ph.set("checkpoint")
+		meta := buildMeta(cfg, specs, warmInstr)
+		if err := checkpoint.Save(path, key, meta, sys.Checkpoint); err != nil {
+			if cs != nil {
+				cs.SaveErrs.Add(1)
+			}
+			fmt.Fprintf(os.Stderr, "checkpoint: save %s failed: %v\n", filepath.Base(path), err)
+		} else if cs != nil {
+			cs.Saves.Add(1)
+		}
+	}
+	return sys, info
+}

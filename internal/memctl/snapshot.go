@@ -1,0 +1,44 @@
+package memctl
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+)
+
+// Snapshot serializes the controller's per-channel busy-until cycles
+// and stat counters (all zero at the post-warm-up checkpoint cut, but
+// carried for format completeness — see vault.Vault.Snapshot).
+func (m *Memory) Snapshot(w *checkpoint.Writer) {
+	w.Section("memctl.Memory")
+	w.U64(m.Accesses)
+	w.U64(m.Writebacks)
+	free := make([]uint64, len(m.chanFree))
+	for i, c := range m.chanFree {
+		free[i] = uint64(c)
+	}
+	w.U64s(free)
+}
+
+// Restore overwrites a freshly constructed controller.
+func (m *Memory) Restore(r *checkpoint.Reader) error {
+	if err := r.Section("memctl.Memory"); err != nil {
+		return err
+	}
+	accesses := r.U64()
+	writebacks := r.U64()
+	free := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(free) != len(m.chanFree) {
+		return fmt.Errorf("memctl: checkpoint has %d channels, controller has %d", len(free), len(m.chanFree))
+	}
+	for i, c := range free {
+		m.chanFree[i] = sim.Cycle(c)
+	}
+	m.Accesses = accesses
+	m.Writebacks = writebacks
+	return nil
+}

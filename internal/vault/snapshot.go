@@ -1,0 +1,49 @@
+package vault
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+)
+
+// Snapshot serializes the vault's timing state (per-bank busy-until
+// cycles) and stat counters. At the post-warm-up checkpoint cut these
+// are all zero — functional warm-up never schedules timing — but the
+// seam carries them anyway so the format does not depend on that
+// phase-ordering argument.
+func (v *Vault) Snapshot(w *checkpoint.Writer) {
+	w.Section("vault.Vault")
+	w.U64(v.Accesses)
+	w.U64(v.Conflicts)
+	w.U64(uint64(v.QueueCycles))
+	free := make([]uint64, len(v.bankFree))
+	for i, c := range v.bankFree {
+		free[i] = uint64(c)
+	}
+	w.U64s(free)
+}
+
+// Restore overwrites a freshly constructed vault.
+func (v *Vault) Restore(r *checkpoint.Reader) error {
+	if err := r.Section("vault.Vault"); err != nil {
+		return err
+	}
+	accesses := r.U64()
+	conflicts := r.U64()
+	queueCycles := sim.Cycle(r.U64())
+	free := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(free) != len(v.bankFree) {
+		return fmt.Errorf("vault: checkpoint has %d banks, vault has %d", len(free), len(v.bankFree))
+	}
+	for i, c := range free {
+		v.bankFree[i] = sim.Cycle(c)
+	}
+	v.Accesses = accesses
+	v.Conflicts = conflicts
+	v.QueueCycles = queueCycles
+	return nil
+}
