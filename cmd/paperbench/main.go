@@ -41,6 +41,7 @@ type cliConfig struct {
 	full           bool
 	only           string
 	parallel       int
+	genThreads     int
 	benchJSON      bool
 	benchBaseline  string
 	checkpointDir  string
@@ -65,6 +66,7 @@ func main() {
 	flag.BoolVar(&c.full, "full", false, "use paper-scale measurement windows")
 	flag.StringVar(&c.only, "only", "", "run a single experiment (fig1, fig2, fig3, fig4, fig7, fig8, table1, fig10, fig11, fig12, fig13, fig14, fig15, table6, fig16)")
 	flag.IntVar(&c.parallel, "parallel", 0, "experiment worker pool size (0 = all cores, 1 = sequential)")
+	flag.IntVar(&c.genThreads, "gen-threads", 0, "per-simulation trace-generation goroutines feeding the cores' op rings (0 = synchronous in-thread generation; results are bit-identical at any value)")
 	flag.BoolVar(&c.benchJSON, "bench-json", false, "write a BENCH_<date>.json performance snapshot and exit (never clobbers an existing snapshot: a b/c/... suffix is added)")
 	flag.StringVar(&c.benchBaseline, "bench-baseline", "", "with -bench-json: compare the new snapshot's probe metrics against this baseline BENCH_*.json and exit non-zero on a >2x regression (the CI gate)")
 	flag.StringVar(&c.checkpointDir, "checkpoint-dir", "", "restore warmed systems from this directory when a matching warm-state checkpoint exists, and save one after every cold warm-up (DESIGN.md §11); results are bit-identical either way")
@@ -89,6 +91,17 @@ func main() {
 }
 
 func run(c cliConfig) int {
+	// Reject negative knob values up front with a usage hint (the GridSpec
+	// Validate treatment): a negative pool or thread count would otherwise
+	// panic deep inside a run, or silently mean something it doesn't.
+	if c.parallel < 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: -parallel %d is negative (0 = all cores, 1 = sequential, N = N workers)\n", c.parallel)
+		return 2
+	}
+	if c.genThreads < 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: -gen-threads %d is negative (0 = synchronous generation, N = N producer goroutines per simulation)\n", c.genThreads)
+		return 2
+	}
 	if c.cpuprofile != "" {
 		f, err := os.Create(c.cpuprofile)
 		if err != nil {
@@ -135,6 +148,7 @@ func run(c cliConfig) int {
 		mode = experiments.Full()
 	}
 	mode.Parallelism = c.parallel
+	mode.GenThreads = c.genThreads
 	var ckptStats experiments.CheckpointStats
 	if c.checkpointDir != "" {
 		mode.CheckpointDir = c.checkpointDir
@@ -341,6 +355,16 @@ type benchSnapshot struct {
 	Mode        string `json:"mode"` // quick or full; full fig10 numbers are not comparable to quick ones
 	GoMaxProcs  int    `json:"go_max_procs"`
 	Parallelism int    `json:"parallelism"`
+	// Host records the machine the snapshot was measured on, so
+	// cross-machine comparisons (dev box vs CI runner phases) carry their
+	// own context instead of relying on CHANGES.md folklore. NumCPU also
+	// says whether the gen_overlap ring numbers could show a win at all
+	// (a 1-CPU host can only show the handoff overhead).
+	Host struct {
+		NumCPU     int    `json:"num_cpu"`
+		GoMaxProcs int    `json:"go_max_procs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
 	// Scheduler is the engine's event-queue implementation (the default for
 	// every system the snapshot measures).
 	Scheduler string `json:"scheduler"`
@@ -403,6 +427,13 @@ type benchSnapshot struct {
 	// §8-§9). Each point records the table occupancy it measured.
 	SystemThroughputPaperScale []experiments.PaperScalePoint `json:"system_throughput_paperscale"`
 
+	// GenOverlap compares synchronous and off-thread trace generation
+	// (experiments.RunGenOverlapProbe) at the paper-scale points: cold
+	// warm-up wall time and timed-phase ns/op, serial vs ring. The ring
+	// numbers are regression-gated like every probe; interpret them
+	// against Host.NumCPU.
+	GenOverlap []experiments.GenOverlapPoint `json:"gen_overlap"`
+
 	// Fig10 is one Fig 10 suite run (5 systems x 8 workloads) through the
 	// concurrent runner, under the selected mode (see the "mode" field —
 	// quick and full snapshots are not comparable to each other).
@@ -423,6 +454,9 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 	snap.Mode = mode.Name
 	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
 	snap.Parallelism = mode.Parallelism
+	snap.Host.NumCPU = runtime.NumCPU()
+	snap.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	snap.Host.GoVersion = runtime.Version()
 	snap.Scheduler = sim.NewEngine().SchedulerName()
 
 	// Per-op probe timing: best of three runs to shed scheduling noise.
@@ -506,6 +540,21 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 			experiments.RunPaperScaleProbeCkpt(scale, mode.CheckpointDir, mode.Checkpoints))
 	}
 
+	// Off-thread generation overlap at the same scales: cold builds by
+	// design (warm-up time is half the measurement), so no checkpoints.
+	// The thread count leaves one CPU for the timing thread and caps at 4
+	// (16 streams over 4 producers already amortizes the handoff).
+	genThreads := runtime.NumCPU() - 1
+	if genThreads < 1 {
+		genThreads = 1
+	}
+	if genThreads > 4 {
+		genThreads = 4
+	}
+	for _, scale := range experiments.PaperScales {
+		snap.GenOverlap = append(snap.GenOverlap, experiments.RunGenOverlapProbe(scale, genThreads))
+	}
+
 	// Fig 10 suite wall-clock through the concurrent runner.
 	figStart := time.Now()
 	r := experiments.Fig10(mode)
@@ -537,6 +586,10 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 		}
 		fmt.Fprintf(os.Stderr, "  paperscale scale=%d: %.2fms/op, %.0f instr/iter, %d table entries (%.0f MB inline, %s)\n",
 			p.Scale, p.NsPerOp/1e6, p.InstrPerIter, p.LineTableEntries, float64(p.LineTableBytes)/(1<<20), warmNote)
+	}
+	for _, p := range snap.GenOverlap {
+		fmt.Fprintf(os.Stderr, "  gen_overlap scale=%d gen-threads=%d: warm %.1fs -> %.1fs, measure %.2fms/op -> %.2fms/op (%d host CPUs)\n",
+			p.Scale, p.GenThreads, p.SerialWarmSec, p.RingWarmSec, p.SerialNsPerOp/1e6, p.RingNsPerOp/1e6, snap.Host.NumCPU)
 	}
 
 	if baseline != "" {
@@ -621,6 +674,19 @@ func gateAgainstBaseline(snap *benchSnapshot, path string) error {
 					name      string
 					old, new_ float64
 				}{fmt.Sprintf("system_throughput_paperscale[scale=%d].ns_per_op", p.Scale), bp.NsPerOp, p.NsPerOp})
+			}
+		}
+	}
+	// The ring path's timed-phase cost gates per scale too: an off-thread
+	// generation regression (handoff cost, lost overlap) must fail CI even
+	// while the synchronous default masks it everywhere else.
+	for _, p := range snap.GenOverlap {
+		for _, bp := range base.GenOverlap {
+			if bp.Scale == p.Scale {
+				checks = append(checks, struct {
+					name      string
+					old, new_ float64
+				}{fmt.Sprintf("gen_overlap[scale=%d].ring_ns_per_op", p.Scale), bp.RingNsPerOp, p.RingNsPerOp})
 			}
 		}
 	}

@@ -26,6 +26,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size for -system all (0 = all cores)")
 	flag.Parse()
 
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "silosim: -parallel %d is negative (0 = all cores, 1 = sequential, N = N workers)\n", *parallel)
+		os.Exit(2)
+	}
+
 	spec, ok := findWorkload(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q (scale-out, enterprise and SPEC CPU2006 names are accepted, e.g. WebSearch or mcf)\n", *name)

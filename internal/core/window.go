@@ -63,12 +63,7 @@ func (s *System) StreamWindows(warmCycles, window sim.Cycle) *WindowStream {
 	if window <= 0 {
 		panic("core: non-positive window length")
 	}
-	if !s.started {
-		for _, c := range s.cores {
-			c.Start()
-		}
-		s.started = true
-	}
+	s.startCores()
 	s.engine.Run(s.engine.Now() + warmCycles)
 
 	names := make([]string, 0, len(statNames)+s.cfg.Cores)

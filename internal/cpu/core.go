@@ -59,6 +59,16 @@ func DefaultConfig() Config { return Config{Width: 3, Burst: 48} }
 // measurably evicts the simulator's own hot arrays on every quantum.
 const opBatch = 16
 
+// BatchPrefetcher is implemented by hierarchies that can warm their home
+// slots for a batch of upcoming ops (the coherence-store home-slot
+// prefetch, DESIGN.md §12): the core hands over each freshly refilled
+// batch before issuing it, so the store's hash-home cache lines are in
+// flight while the preceding ops execute. Purely a host-side hint — it
+// must not change simulated state.
+type BatchPrefetcher interface {
+	PrefetchBatch(core int, ops []workload.Op)
+}
+
 // Core drives one workload stream through the hierarchy.
 type Core struct {
 	ID     int
@@ -66,6 +76,8 @@ type Core struct {
 	engine *sim.Engine
 	stream *workload.Stream
 	path   Hierarchy
+	ring   *workload.Ring  // nil = synchronous NextBatch refills
+	pf     BatchPrefetcher // nil = no home-slot prefetch
 	mlp    int
 
 	// Pre-generated op batch (stream.NextBatch) the issue loop consumes
@@ -137,6 +149,31 @@ func (c *Core) Start() {
 	c.engine.Schedule(0, c.stepFn)
 }
 
+// AttachRing switches the core's batch refills from synchronous NextBatch
+// to consuming blocks off an SPSC ring fed by a producer goroutine. The
+// op sequence is identical either way (the ring's determinism contract,
+// DESIGN.md §12); only the host thread doing the generation changes. Must
+// be called before Start, with any buffered batch fully consumed.
+func (c *Core) AttachRing(r *workload.Ring) {
+	if c.running {
+		panic("cpu: AttachRing on a started core")
+	}
+	if c.opNext != c.opEnd {
+		panic("cpu: AttachRing with buffered ops pending")
+	}
+	c.ring = r
+}
+
+// EnablePrefetch turns on home-slot batch prefetching if the core's
+// hierarchy path supports it, reporting whether it did.
+func (c *Core) EnablePrefetch() bool {
+	if pf, ok := c.path.(BatchPrefetcher); ok {
+		c.pf = pf
+		return true
+	}
+	return false
+}
+
 // computeCycles converts an instruction run into cycles at the issue width.
 func (c *Core) computeCycles(instr int) sim.Cycle {
 	return sim.Cycle((instr + c.cfg.Width - 1) / c.cfg.Width)
@@ -162,8 +199,19 @@ func (c *Core) step() {
 			c.haveStalled = false
 		} else {
 			if c.opNext == c.opEnd {
-				c.opEnd = c.stream.NextBatch(c.ops)
+				if c.ring != nil {
+					// Zero-copy: point the batch cursor at the published
+					// block. The block stays valid until the next NextBlock,
+					// i.e. exactly until this batch is consumed.
+					c.ops = c.ring.NextBlock()
+					c.opEnd = len(c.ops)
+				} else {
+					c.opEnd = c.stream.NextBatch(c.ops)
+				}
 				c.opNext = 0
+				if c.pf != nil {
+					c.pf.PrefetchBatch(c.ID, c.ops[:c.opEnd])
+				}
 			}
 			op = c.ops[c.opNext]
 			c.opNext++

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Off-thread trace generation (DESIGN.md §12). A Ring decouples a core's
+// trace generation from its timing simulation: a producer goroutine runs
+// Stream.NextBatch ahead of the consumer, publishing fixed-size op blocks
+// through a bounded single-producer/single-consumer ring, and the consumer
+// (cpu.Core's batch refill, or the functional warm-up loop) takes whole
+// blocks zero-copy. The op sequence each consumer observes is identical to
+// the synchronous path by construction: NextBatch is split-invariant — gen
+// runs once per op, in order, with the RNG state threaded through — so
+// block boundaries can never reorder, drop or duplicate a draw
+// (TestRingMatchesSerial pins this against per-op Next; TestRingGoldenHash
+// pins the golden FNV op-stream hash through the ring).
+
+// RingBlockOps is the number of ops per published block. One block is
+// 1 KB of Op (16 cache lines): big enough that the SPSC handoff cost
+// (two atomics and at most two non-blocking channel ops per block)
+// amortizes to well under a nanosecond per op, small enough that a ring
+// of ringBlocks blocks per core stays inside the L2 while a batch is
+// consumed.
+const RingBlockOps = 64
+
+// ringBlocks is the ring capacity in blocks (power of two: slot index is
+// a mask). 8 blocks x 1 KB lets a producer run half a quantum ahead
+// without the buffers outgrowing the host caches at 16+ cores.
+const ringBlocks = 8
+
+// Ring is a bounded SPSC block ring over one Stream. Exactly one producer
+// goroutine (owned by a ProducerSet) publishes blocks and exactly one
+// consumer goroutine takes them; head counts blocks published, tail counts
+// blocks released, and the slot of block n is n mod ringBlocks. The
+// producer may write slot head%ringBlocks only while head-tail < ringBlocks,
+// so the block most recently returned by NextBlock — released only on the
+// following NextBlock call — is never overwritten under the consumer.
+//
+// Wakeups use one-slot buffered channels with non-blocking sends plus a
+// recheck loop on both sides, so a token can be stale but never lost: data
+// (producer -> consumer, closed when a budgeted producer finishes) and
+// space (consumer -> producer, shared by all rings of one producer
+// goroutine). In the steady state neither side parks and a block handoff
+// costs two atomic ops and two failed non-blocking sends.
+type Ring struct {
+	stream *Stream
+	buf    []Op // ringBlocks x RingBlockOps, flat
+	blen   [ringBlocks]int32
+	data   chan struct{}   // cap 1; closed when the production budget is exhausted
+	space  chan struct{}   // cap 1; shared per producer goroutine
+	stop   <-chan struct{} // closed by ProducerSet.Close
+
+	// Producer-confined state.
+	remaining int64 // ops left to produce; < 0 = unbounded
+	exhausted bool
+
+	// Consumer-confined state.
+	holding bool // the block at tail is held by the consumer, not yet released
+
+	// head and tail sit on their own cache lines: they are the only words
+	// both sides touch per block, and sharing a line would bounce it on
+	// every handoff.
+	_    [64]byte
+	head atomic.Uint64 // blocks published
+	_    [56]byte
+	tail atomic.Uint64 // blocks released
+	_    [56]byte
+}
+
+func newRing(st *Stream, budget int64, space chan struct{}, stop <-chan struct{}) *Ring {
+	return &Ring{
+		stream:    st,
+		buf:       make([]Op, ringBlocks*RingBlockOps),
+		data:      make(chan struct{}, 1),
+		space:     space,
+		stop:      stop,
+		remaining: budget,
+	}
+}
+
+// NextBlock releases the previously returned block (if any) and returns
+// the next one, blocking until the producer publishes it. The returned
+// slice aliases ring storage and is valid until the next NextBlock call;
+// the steady-state path allocates nothing (TestRingConsumeAllocs).
+// Consuming past a budgeted producer's last block panics — the consumer
+// and producer disagreeing on the op budget is a protocol violation, not
+// a wait state.
+func (c *Ring) NextBlock() []Op {
+	t := c.tail.Load()
+	if c.holding {
+		t++
+		c.tail.Store(t)
+		c.holding = false
+		select {
+		case c.space <- struct{}{}:
+		default:
+		}
+	}
+	for c.head.Load() == t {
+		select {
+		case _, ok := <-c.data:
+			if !ok && c.head.Load() == t {
+				panic("workload: ring consumed past its producer's budget")
+			}
+		case <-c.stop:
+			if c.head.Load() == t {
+				panic("workload: ring consumer outlived its producers (Close before drain)")
+			}
+		}
+	}
+	slot := t % ringBlocks
+	c.holding = true
+	return c.buf[slot*RingBlockOps : slot*RingBlockOps+uint64(c.blen[slot])]
+}
+
+// Drained reports whether every published block has been taken by the
+// consumer (the held block counts as taken). After a budgeted producer
+// has been joined with Wait, Drained means the stream is quiescent: its
+// state reflects exactly the produced budget, so checkpoints may cut here
+// (the drain rule, DESIGN.md §12).
+func (c *Ring) Drained() bool {
+	d := c.head.Load() - c.tail.Load()
+	if c.holding {
+		d--
+	}
+	return d == 0
+}
+
+// fillOne publishes one block if the ring has space and budget left,
+// returning whether it produced anything. Producer-side only.
+func (c *Ring) fillOne() bool {
+	if c.remaining == 0 {
+		if !c.exhausted {
+			c.exhausted = true
+			close(c.data)
+		}
+		return false
+	}
+	h := c.head.Load()
+	if h-c.tail.Load() == ringBlocks {
+		return false // full; the consumer's release will wake us via space
+	}
+	n := int64(RingBlockOps)
+	if c.remaining > 0 && c.remaining < n {
+		n = c.remaining
+	}
+	slot := h % ringBlocks
+	c.stream.NextBatch(c.buf[slot*RingBlockOps : int64(slot*RingBlockOps)+n])
+	c.blen[slot] = int32(n)
+	c.head.Store(h + 1)
+	if c.remaining > 0 {
+		c.remaining -= n
+		if c.remaining == 0 {
+			c.exhausted = true
+			close(c.data) // the close is itself the consumer wakeup
+			return true
+		}
+	}
+	select {
+	case c.data <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// ProducerSet runs the producer goroutines feeding one ring per stream.
+// Rings are assigned to goroutines round-robin (ring i to goroutine
+// i mod threads), each goroutine filling one block per non-full ring per
+// pass so its rings stay evenly ahead.
+type ProducerSet struct {
+	rings []*Ring
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+// StartProducers builds one ring per stream and starts threads producer
+// goroutines over them. budget >= 0 bounds the ops produced per stream
+// (the functional warm-up contract: exactly budget ops, final block
+// possibly partial, after which the ring's data channel closes); budget
+// < 0 produces forever until Close. The caller must not touch the
+// streams until the set is joined (Wait or Close): the producers own the
+// generator state.
+func StartProducers(streams []*Stream, threads int, budget int64) *ProducerSet {
+	if len(streams) == 0 {
+		panic("workload: StartProducers with no streams")
+	}
+	if threads < 1 {
+		panic(fmt.Sprintf("workload: StartProducers with %d threads", threads))
+	}
+	if threads > len(streams) {
+		threads = len(streams)
+	}
+	ps := &ProducerSet{
+		rings: make([]*Ring, len(streams)),
+		stop:  make(chan struct{}),
+	}
+	spaces := make([]chan struct{}, threads)
+	for t := range spaces {
+		spaces[t] = make(chan struct{}, 1)
+	}
+	for i, st := range streams {
+		ps.rings[i] = newRing(st, budget, spaces[i%threads], ps.stop)
+	}
+	ps.wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		own := make([]*Ring, 0, (len(streams)+threads-1)/threads)
+		for i := t; i < len(streams); i += threads {
+			own = append(own, ps.rings[i])
+		}
+		go ps.produce(own, spaces[t])
+	}
+	return ps
+}
+
+// Ring returns stream i's ring.
+func (ps *ProducerSet) Ring(i int) *Ring { return ps.rings[i] }
+
+// produce is one producer goroutine's loop: fill one block per owned ring
+// per pass, park on space/stop when a full pass makes no progress, exit
+// when every owned ring's budget is produced or stop closes.
+func (ps *ProducerSet) produce(rings []*Ring, space chan struct{}) {
+	defer ps.wg.Done()
+	for {
+		progress, live := false, false
+		for _, r := range rings {
+			if r.exhausted {
+				continue
+			}
+			if r.fillOne() {
+				progress = true
+			}
+			if !r.exhausted {
+				live = true
+			}
+		}
+		if !live {
+			return
+		}
+		if progress {
+			continue
+		}
+		select {
+		case <-space:
+		case <-ps.stop:
+			return
+		}
+	}
+}
+
+// Wait joins the producers after they finish on their own — only budgeted
+// sets terminate this way, and only once the consumer has taken enough
+// blocks that every budgeted op fit in the rings.
+func (ps *ProducerSet) Wait() { ps.wg.Wait() }
+
+// Close stops the producers (idempotent) and joins them: goroutines
+// parked on a full ring or mid-pass observe stop and exit; blocks already
+// published stay readable. Close must be called from (or after) the
+// consumer side — never concurrently with NextBlock on a ring that could
+// be empty, which would panic the consumer instead of deadlocking it.
+func (ps *ProducerSet) Close() {
+	ps.once.Do(func() { close(ps.stop) })
+	ps.wg.Wait()
+}
