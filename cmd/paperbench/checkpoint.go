@@ -81,10 +81,26 @@ func runCheckpointLS(dir string) int {
 	return 0
 }
 
+// gcLockWait bounds how long GC waits for concurrent restores/saves to
+// drain before refusing. Restores of paper-scale checkpoints take a few
+// seconds; anything longer means the directory is genuinely busy. (A
+// variable so the directed test can shorten the refusal path.)
+var gcLockWait = 10 * time.Second
+
 // runCheckpointGC prunes checkpoints older than maxAgeDays, plus any
 // whose header is stale (older format version — the current code will
 // never restore it) or unreadable. Live checkpoints are left alone.
+// The directory lock is taken exclusive for the whole pass: workers of
+// a distributed sweep restore under the shared lock, so GC can never
+// unlink a checkpoint mid-restore — it refuses (exit 1) when the
+// directory stays busy past gcLockWait rather than waiting forever.
 func runCheckpointGC(dir string, maxAgeDays int) int {
+	unlock, err := checkpoint.LockDirExclusive(dir, gcLockWait)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: gc: %v — retry when the sweep's restores have drained\n", err)
+		return 1
+	}
+	defer unlock()
 	entries, err := scanCheckpointDir(dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)

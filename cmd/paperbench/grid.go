@@ -1,224 +1,20 @@
 package main
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
-	"repro/internal/coherence"
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
-// Batch-mode grid specs. A -grid argument is a semicolon-separated list
-// of axes:
-//
-//	systems=Baseline,SILO,SILO-CO;workloads=WebSearch,DataServing;overrides=scale=64|llc_mb=64
-//
-// systems and workloads are comma-separated names; overrides is a
-// '|'-separated list of override sets, each a comma-separated list of
-// key=value assignments (or "-" for the identity). The grid is the full
-// cross product, streamed as JSON-lines in enumeration order.
+// Batch-mode grid spec parsing. The compiler moved to
+// internal/experiments (experiments.ParseGridSpec) in the distributed-
+// runner PR: the textual spec doubles as the coordinator/worker wire
+// format, so every process — this CLI, a -serve coordinator, a -worker
+// shard — must compile it with the same code. These aliases keep the
+// CLI's call sites and tests in place.
 
-// systemByName maps a (case-insensitive) system name to its config
-// constructor at 16 cores (a cores= override re-targets the core count).
-func systemByName(name string) (core.Config, error) {
-	switch strings.ToLower(name) {
-	case "baseline":
-		return core.BaselineConfig(16), nil
-	case "baseline+dram$", "baseline+dram", "dram":
-		return core.BaselineDRAMConfig(16), nil
-	case "silo":
-		return core.SILOConfig(16), nil
-	case "silo-co", "siloco":
-		return core.SILOCOConfig(16), nil
-	case "vaults-sh", "vaultssh", "vaultsshared":
-		return core.VaultsSharedConfig(16), nil
-	default:
-		return core.Config{}, fmt.Errorf("unknown system %q (want Baseline, Baseline+DRAM$, SILO, SILO-CO or Vaults-Sh)", name)
-	}
-}
-
-// workloadByName resolves a workload from the scale-out and enterprise
-// suites or the SPEC CPU2006 set.
-func workloadByName(name string) (workload.Spec, error) {
-	for _, s := range workload.ScaleOutSuite() {
-		if strings.EqualFold(s.Name, name) {
-			return s, nil
-		}
-	}
-	for _, s := range workload.EnterpriseSuite() {
-		if strings.EqualFold(s.Name, name) {
-			return s, nil
-		}
-	}
-	for _, n := range workload.Spec2006Names() {
-		if strings.EqualFold(n, name) {
-			return workload.Spec2006(n), nil
-		}
-	}
-	return workload.Spec{}, fmt.Errorf("unknown workload %q (scale-out, enterprise and SPEC CPU2006 names are accepted)", name)
-}
-
-// parseOverride compiles one override set ("scale=64,llc_mb=64" or "-")
-// into a named config mutation. Assignments apply left to right.
 func parseOverride(set string) (experiments.Override, error) {
-	set = strings.TrimSpace(set)
-	if set == "" || set == "-" {
-		return experiments.NoOverride(), nil
-	}
-	var setters []func(*core.Config)
-	for _, kv := range strings.Split(set, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return experiments.Override{}, fmt.Errorf("override %q: assignment %q is not key=value", set, kv)
-		}
-		key = strings.ToLower(strings.TrimSpace(key))
-		val = strings.TrimSpace(val)
-		num := func() (int64, error) {
-			n, err := strconv.ParseInt(val, 10, 64)
-			if err != nil || n <= 0 {
-				return 0, fmt.Errorf("override %q: %s wants a positive integer, got %q", set, key, val)
-			}
-			return n, nil
-		}
-		switch key {
-		case "scale":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.Scale = n })
-		case "cores":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.Cores = int(n) })
-		case "seed":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.Seed = uint64(n) })
-		case "llc_mb":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.LLCSize = n << 20 })
-		case "llc_ways":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.LLCWays = int(n) })
-		case "llc_extra":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.LLCExtraLatency = sim.Cycle(n) })
-		case "rwmult":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.RWSharedMult = int(n) })
-		case "vault_mb":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.VaultCapacity = n << 20 })
-		case "vault_ways":
-			n, err := num()
-			if err != nil {
-				return experiments.Override{}, err
-			}
-			setters = append(setters, func(c *core.Config) { c.VaultWays = int(n) })
-		case "l2":
-			if val != "true" && val != "false" {
-				return experiments.Override{}, fmt.Errorf("override %q: l2 wants true or false, got %q", set, val)
-			}
-			on := val == "true"
-			setters = append(setters, func(c *core.Config) {
-				if on {
-					*c = c.WithL2()
-				} else {
-					c.L2Size, c.L2Ways, c.L2Latency = 0, 0, 0
-				}
-			})
-		case "protocol":
-			var p coherence.Protocol
-			switch strings.ToLower(val) {
-			case "mesi":
-				p = coherence.MESI
-			case "moesi":
-				p = coherence.MOESI
-			default:
-				return experiments.Override{}, fmt.Errorf("override %q: protocol wants mesi or moesi, got %q", set, val)
-			}
-			setters = append(setters, func(c *core.Config) { c.Protocol = p })
-		default:
-			return experiments.Override{}, fmt.Errorf("override %q: unknown key %q (want scale, cores, seed, llc_mb, llc_ways, llc_extra, rwmult, vault_mb, vault_ways, l2, protocol)", set, key)
-		}
-	}
-	return experiments.Override{
-		Name: set,
-		Apply: func(c *core.Config) {
-			for _, s := range setters {
-				s(c)
-			}
-		},
-	}, nil
+	return experiments.ParseOverride(set)
 }
 
-// parseGridSpec compiles a -grid argument into a GridSpec.
 func parseGridSpec(arg string, windows int, confidence float64) (experiments.GridSpec, error) {
-	g := experiments.GridSpec{Windows: windows, Confidence: confidence}
-	for _, section := range strings.Split(arg, ";") {
-		section = strings.TrimSpace(section)
-		if section == "" {
-			continue
-		}
-		key, val, ok := strings.Cut(section, "=")
-		if !ok {
-			return g, fmt.Errorf("grid section %q is not axis=values", section)
-		}
-		switch strings.ToLower(strings.TrimSpace(key)) {
-		case "systems":
-			for _, name := range strings.Split(val, ",") {
-				cfg, err := systemByName(strings.TrimSpace(name))
-				if err != nil {
-					return g, err
-				}
-				g.Systems = append(g.Systems, cfg)
-			}
-		case "workloads":
-			for _, name := range strings.Split(val, ",") {
-				spec, err := workloadByName(strings.TrimSpace(name))
-				if err != nil {
-					return g, err
-				}
-				g.Workloads = append(g.Workloads, spec)
-			}
-		case "overrides":
-			for _, set := range strings.Split(val, "|") {
-				ov, err := parseOverride(set)
-				if err != nil {
-					return g, err
-				}
-				g.Overrides = append(g.Overrides, ov)
-			}
-		default:
-			return g, fmt.Errorf("unknown grid axis %q (want systems, workloads or overrides)", key)
-		}
-	}
-	if len(g.Systems) == 0 || len(g.Workloads) == 0 {
-		return g, fmt.Errorf("grid %q needs at least systems=... and workloads=...", arg)
-	}
-	return g, nil
+	return experiments.ParseGridSpec(arg, windows, confidence)
 }

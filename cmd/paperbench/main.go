@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/coherence"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/robust"
 	"repro/internal/sim"
@@ -53,10 +54,18 @@ type cliConfig struct {
 	gridOut        string
 	journal        string
 	resume         bool
+	resumeShards   string
 	cellDeadline   time.Duration
 	retries        int
 	retryBackoff   time.Duration
 	onError        string
+	serve          string
+	worker         string
+	workerID       string
+	leaseTTL       time.Duration
+	leaseCells     int
+	soloAfter      time.Duration
+	maxOffline     time.Duration
 	cpuprofile     string
 	memprofile     string
 }
@@ -82,12 +91,63 @@ func main() {
 	flag.IntVar(&c.retries, "retries", 0, "with -grid: deterministic re-attempts for a panicked or timed-out cell before it counts as permanently failed")
 	flag.DurationVar(&c.retryBackoff, "retry-backoff", 500*time.Millisecond, "with -grid: base of the capped exponential retry backoff (doubles per retry, capped at 30s)")
 	flag.StringVar(&c.onError, "on-error", "fail", "with -grid: fail = abort the sweep on the first permanently failed cell; skip = record a structured error for it and continue")
+	flag.StringVar(&c.serve, "serve", "", "distributed sweep coordinator: listen on this address (e.g. :9377) and hand -grid cells to -worker processes as lease batches; output is byte-identical to a single-process -grid run (DESIGN.md §13)")
+	flag.StringVar(&c.worker, "worker", "", "distributed sweep worker: join the coordinator at this URL (e.g. http://host:9377), lease cells and stream records back; the grid and failure policy come from the coordinator")
+	flag.StringVar(&c.workerID, "worker-id", "", "with -worker: identity used in leases and logs (default host:pid)")
+	flag.DurationVar(&c.leaseTTL, "lease-ttl", 10*time.Second, "with -serve: lease lifetime without a heartbeat or report; an expired lease's cells are reassigned to surviving workers")
+	flag.IntVar(&c.leaseCells, "lease-cells", 1, "with -serve: cells handed out per lease")
+	flag.DurationVar(&c.soloAfter, "solo-after", 0, "with -serve: finish remaining cells in-process when no worker has been heard from for this long (0 = 4x lease-ttl, negative = never)")
+	flag.DurationVar(&c.maxOffline, "max-offline", 2*time.Minute, "with -worker: give up after the coordinator has been unreachable this long")
+	flag.StringVar(&c.resumeShards, "resume-shards", "", "with -serve -resume: comma-separated worker shard journals to merge into the resume set (salvage from crashed workers)")
 	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
 	flag.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	// Work happens in run() so the profile-flushing defers execute before
 	// os.Exit.
 	os.Exit(run(c))
+}
+
+// validateSetFlags rejects nonsensical values of explicitly-set flags at
+// parse time with a usage hint, before any simulation work starts — the
+// same up-front treatment -parallel/-gen-threads get. flag.Visit walks
+// only flags the user actually set, so defaults (e.g. -cell-deadline 0 =
+// watchdog disabled) stay legal while an explicit `-cell-deadline 0`
+// (which would silently disable the watchdog the user just asked for) is
+// refused. Returns a usage message, or "" when everything is sane.
+func validateSetFlags(c cliConfig) string {
+	msg := ""
+	flag.Visit(func(f *flag.Flag) {
+		if msg != "" {
+			return
+		}
+		switch f.Name {
+		case "cell-deadline":
+			if c.cellDeadline <= 0 {
+				msg = fmt.Sprintf("-cell-deadline %v is not positive — pass a duration like 90s, or drop the flag to disable the watchdog", c.cellDeadline)
+			}
+		case "retries":
+			if c.retries < 0 {
+				msg = fmt.Sprintf("-retries %d is negative (0 = no retries, N = N re-attempts per failed cell)", c.retries)
+			}
+		case "retry-backoff":
+			if c.retryBackoff <= 0 {
+				msg = fmt.Sprintf("-retry-backoff %v is not positive — pass a duration like 500ms (it doubles per retry, capped at 30s)", c.retryBackoff)
+			}
+		case "lease-ttl":
+			if c.leaseTTL <= 0 {
+				msg = fmt.Sprintf("-lease-ttl %v is not positive — workers heartbeat at a third of it, so it must be a real duration like 10s", c.leaseTTL)
+			}
+		case "lease-cells":
+			if c.leaseCells <= 0 {
+				msg = fmt.Sprintf("-lease-cells %d is not positive (N = cells per lease batch)", c.leaseCells)
+			}
+		case "max-offline":
+			if c.maxOffline <= 0 {
+				msg = fmt.Sprintf("-max-offline %v is not positive — pass how long a worker should outlive a coordinator outage, like 2m", c.maxOffline)
+			}
+		}
+	})
+	return msg
 }
 
 func run(c cliConfig) int {
@@ -100,6 +160,14 @@ func run(c cliConfig) int {
 	}
 	if c.genThreads < 0 {
 		fmt.Fprintf(os.Stderr, "paperbench: -gen-threads %d is negative (0 = synchronous generation, N = N producer goroutines per simulation)\n", c.genThreads)
+		return 2
+	}
+	if msg := validateSetFlags(c); msg != "" {
+		fmt.Fprintf(os.Stderr, "paperbench: %s\n", msg)
+		return 2
+	}
+	if c.serve != "" && c.worker != "" {
+		fmt.Fprintln(os.Stderr, "paperbench: -serve and -worker are mutually exclusive — a process is a coordinator or a worker, not both")
 		return 2
 	}
 	if c.cpuprofile != "" {
@@ -167,6 +235,12 @@ func run(c cliConfig) int {
 		return 0
 	}
 
+	if c.worker != "" {
+		return runWorker(c, mode)
+	}
+	if c.serve != "" {
+		return runServe(c, mode)
+	}
 	if c.grid != "" {
 		return runGrid(c, mode)
 	}
@@ -434,6 +508,14 @@ type benchSnapshot struct {
 	// against Host.NumCPU.
 	GenOverlap []experiments.GenOverlapPoint `json:"gen_overlap"`
 
+	// DistSweep measures the distributed runner end to end
+	// (dist.RunSweepProbe): coordinator + N in-process workers over real
+	// loopback HTTP on a fixed 12-cell grid, at 1 and 2 workers.
+	// ns_per_cell is regression-gated per worker count; the 1-vs-2
+	// spread shows whether lease/report overhead swamps the parallelism
+	// win.
+	DistSweep []dist.SweepPoint `json:"dist_sweep"`
+
 	// Fig10 is one Fig 10 suite run (5 systems x 8 workloads) through the
 	// concurrent runner, under the selected mode (see the "mode" field —
 	// quick and full snapshots are not comparable to each other).
@@ -555,6 +637,15 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 		snap.GenOverlap = append(snap.GenOverlap, experiments.RunGenOverlapProbe(scale, genThreads))
 	}
 
+	// Distributed sweep throughput at 1 and 2 workers.
+	for _, workers := range []int{1, 2} {
+		p, err := dist.RunSweepProbe(context.Background(), workers)
+		if err != nil {
+			return fmt.Errorf("dist_sweep probe (%d workers): %w", workers, err)
+		}
+		snap.DistSweep = append(snap.DistSweep, p)
+	}
+
 	// Fig 10 suite wall-clock through the concurrent runner.
 	figStart := time.Now()
 	r := experiments.Fig10(mode)
@@ -590,6 +681,10 @@ func writeBenchSnapshot(mode experiments.Mode, baseline string) error {
 	for _, p := range snap.GenOverlap {
 		fmt.Fprintf(os.Stderr, "  gen_overlap scale=%d gen-threads=%d: warm %.1fs -> %.1fs, measure %.2fms/op -> %.2fms/op (%d host CPUs)\n",
 			p.Scale, p.GenThreads, p.SerialWarmSec, p.RingWarmSec, p.SerialNsPerOp/1e6, p.RingNsPerOp/1e6, snap.Host.NumCPU)
+	}
+	for _, p := range snap.DistSweep {
+		fmt.Fprintf(os.Stderr, "  dist_sweep workers=%d: %d cells, %.2fms/cell, %.1f cells/sec\n",
+			p.Workers, p.Cells, p.NsPerCell/1e6, p.CellsPerSec)
 	}
 
 	if baseline != "" {
@@ -687,6 +782,19 @@ func gateAgainstBaseline(snap *benchSnapshot, path string) error {
 					name      string
 					old, new_ float64
 				}{fmt.Sprintf("gen_overlap[scale=%d].ring_ns_per_op", p.Scale), bp.RingNsPerOp, p.RingNsPerOp})
+			}
+		}
+	}
+	// The distributed runner gates per worker count: a protocol-overhead
+	// regression (chattier leases, slower merge) shows up here even when
+	// every single-process probe is clean.
+	for _, p := range snap.DistSweep {
+		for _, bp := range base.DistSweep {
+			if bp.Workers == p.Workers {
+				checks = append(checks, struct {
+					name      string
+					old, new_ float64
+				}{fmt.Sprintf("dist_sweep[workers=%d].ns_per_cell", p.Workers), bp.NsPerCell, p.NsPerCell})
 			}
 		}
 	}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 )
 
@@ -57,6 +60,44 @@ func TestSnapshotSuffixShape(t *testing.T) {
 		if got := snapshotSuffix(c.k); got != c.want {
 			t.Errorf("snapshotSuffix(%d) = %q, want %q", c.k, got, c.want)
 		}
+	}
+}
+
+// -checkpoint-gc must refuse while another process (here: another
+// goroutine's shared lock, same flock semantics) is mid-restore on the
+// shared directory, leaving every checkpoint in place — the directed
+// test for the concurrent-reader guard. After the reader releases, the
+// same GC pass prunes normally.
+func TestCheckpointGCRefusesWhileDirInUse(t *testing.T) {
+	dir := t.TempDir()
+	// A fake stale checkpoint: bad header, so an unguarded GC would
+	// prune it unconditionally.
+	path := filepath.Join(dir, "deadbeef.ckpt")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	oldWait := gcLockWait
+	gcLockWait = 200 * time.Millisecond
+	defer func() { gcLockWait = oldWait }()
+
+	unlock, err := checkpoint.LockDirShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := runCheckpointGC(dir, 0); code == 0 {
+		t.Fatal("gc succeeded while a restore held the directory lock")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("refused gc still removed the checkpoint: %v", err)
+	}
+
+	unlock()
+	if code := runCheckpointGC(dir, 0); code != 0 {
+		t.Fatalf("gc after release exited %d", code)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("gc after release left the stale checkpoint behind")
 	}
 }
 

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package checkpoint
+
+import (
+	"fmt"
+	"time"
+)
+
+// Non-unix stub: flock is unavailable, so directory locking degrades
+// to a no-op. GC-vs-restore races are then possible, matching the
+// pre-lock behavior on these platforms; every supported CI and
+// production host is unix.
+
+const LockFileName = ".dirlock"
+
+var ErrDirBusy = fmt.Errorf("directory is in use (a checkpoint restore or save holds the lock)")
+
+func LockDirShared(dir string) (unlock func(), err error)                        { return func() {}, nil }
+func LockDirExclusive(dir string, wait time.Duration) (unlock func(), err error) { return func() {}, nil }

@@ -1,0 +1,77 @@
+//go:build unix
+
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Two shared holders coexist: concurrent restores on a shared
+// -checkpoint-dir never serialize against each other.
+func TestLockDirSharedCoexists(t *testing.T) {
+	dir := t.TempDir()
+	u1, err := LockDirShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u1()
+	u2, err := LockDirShared(dir)
+	if err != nil {
+		t.Fatalf("second shared lock blocked by the first: %v", err)
+	}
+	u2()
+}
+
+// The GC side refuses (ErrDirBusy) while a restore holds the lock
+// shared, and succeeds as soon as the holder releases — the directed
+// test for the gc-vs-concurrent-reader guard.
+func TestLockDirExclusiveRefusesWhileShared(t *testing.T) {
+	dir := t.TempDir()
+	unlockShared, err := LockDirShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LockDirExclusive(dir, 100*time.Millisecond); !errors.Is(err, ErrDirBusy) {
+		t.Fatalf("exclusive lock under a shared holder: err = %v, want ErrDirBusy", err)
+	}
+
+	unlockShared()
+	unlockEx, err := LockDirExclusive(dir, time.Second)
+	if err != nil {
+		t.Fatalf("exclusive lock after release: %v", err)
+	}
+	defer unlockEx()
+
+	// And the mirror: a restore arriving mid-GC waits; with the
+	// exclusive lock held, a bounded-wait retry of another exclusive
+	// also refuses (flock exclusivity, not just SH-vs-EX).
+	if _, err := LockDirExclusive(dir, 100*time.Millisecond); !errors.Is(err, ErrDirBusy) {
+		t.Fatalf("second exclusive lock: err = %v, want ErrDirBusy", err)
+	}
+}
+
+// An exclusive holder releasing un-wedges a waiting exclusive within
+// the retry window (GC after GC, or GC after the last restore).
+func TestLockDirExclusiveEventuallyAcquires(t *testing.T) {
+	dir := t.TempDir()
+	unlock, err := LockDirExclusive(dir, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		u, err := LockDirExclusive(dir, 5*time.Second)
+		if err == nil {
+			u()
+		}
+		done <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter never acquired after release: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// SweepPoint is one dist_sweep measurement in the BENCH_*.json schema:
+// end-to-end distributed sweep throughput (coordinator + Workers local
+// in-process workers over real loopback HTTP) on a fixed small grid.
+// NsPerCell is regression-gated; comparing the 1- and 2-worker points
+// shows whether the protocol overhead swamps the parallelism win.
+type SweepPoint struct {
+	Workers     int     `json:"workers"`
+	Cells       int     `json:"cells"`
+	NsPerCell   float64 `json:"ns_per_cell"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// probeGrid is the probe's fixed workload: 12 cheap cells — enough to
+// amortize lease round-trips and keep both workers busy, small enough
+// for a bench run.
+const probeGrid = "systems=Baseline,SILO;workloads=WebSearch,DataServing;overrides=-|seed=2|seed=3"
+
+// probeMode mirrors the grid executor tests' fast mode: real warm-up
+// and measurement, just tiny.
+func probeMode() experiments.Mode {
+	return experiments.Mode{
+		Name:          "dist-probe",
+		WarmInstr:     2000,
+		WarmCycles:    500,
+		MeasureCycles: 4000,
+		Scale:         32,
+		Parallelism:   1,
+	}
+}
+
+// RunSweepProbe runs the probe sweep with n in-process workers and
+// reports throughput. Solo fallback is disabled so the measurement is
+// honest about the worker path.
+func RunSweepProbe(ctx context.Context, n int) (SweepPoint, error) {
+	if n < 1 {
+		return SweepPoint{}, fmt.Errorf("dist: probe needs >=1 workers, got %d", n)
+	}
+	co, err := NewCoordinator(Config{
+		Grid:      probeGrid,
+		Windows:   2,
+		Mode:      probeMode(),
+		LeaseTTL:  5 * time.Second,
+		SoloAfter: -1,
+	})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	url := "http://" + ln.Addr().String()
+
+	start := time.Now()
+	coErr := make(chan error, 1)
+	go func() {
+		coErr <- co.Run(ctx, ln, func(experiments.GridCellResult) bool { return true })
+	}()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := NewWorker(WorkerConfig{
+				URL:         url,
+				ID:          fmt.Sprintf("probe-%d", i),
+				Parallelism: 1,
+				MaxOffline:  15 * time.Second,
+			})
+			workerErrs[i] = w.Run(ctx)
+		}(i)
+	}
+
+	err = <-coErr
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return SweepPoint{}, fmt.Errorf("dist: probe worker %d: %w", i, werr)
+		}
+	}
+	cells := co.StatsSnapshot().Cells
+	return SweepPoint{
+		Workers:     n,
+		Cells:       cells,
+		NsPerCell:   float64(elapsed.Nanoseconds()) / float64(cells),
+		CellsPerSec: float64(cells) / elapsed.Seconds(),
+	}, nil
+}

@@ -87,6 +87,42 @@ type GridOptions struct {
 // cell; under SkipFailed it becomes one structured error record and the
 // sweep continues. Returns ctx.Err() when cancelled.
 func RunGridStreamOpts(ctx context.Context, g GridSpec, m Mode, opts GridOptions, emit func(GridCellResult) bool) (err error) {
+	return runGridIndexed(ctx, g, m, opts, nil, emit)
+}
+
+// RunGridSubsetOpts is the shard executor seam of the distributed
+// runner (DESIGN.md §13): it executes only the named cell indices —
+// one worker's lease batch — under the same fault-tolerance options as
+// RunGridStreamOpts, emitting results in the order indices are given.
+// Every index must be in [0, g.Cells()); journal keys are the same
+// content hashes a whole-grid run derives, so per-shard journals merge
+// idempotently with each other and with a single-process journal.
+func RunGridSubsetOpts(ctx context.Context, g GridSpec, m Mode, opts GridOptions, indices []int, emit func(GridCellResult) bool) error {
+	return runGridIndexed(ctx, g, m, opts, indices, emit)
+}
+
+// GridCellKeys derives every cell's journal key — the content hash a
+// completed record is stored and deduplicated under. A distributed
+// coordinator uses these to merge shard reports idempotently (a cell
+// completed twice emits once) and to resume from its own journal
+// without re-deriving cells.
+func GridCellKeys(g GridSpec, m Mode) ([]string, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.normalized().enumerate(m)
+	ex := &cellExecutor{m: m}
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = ex.key(c)
+	}
+	return keys, nil
+}
+
+// runGridIndexed is the shared execution core: run the cells named by
+// indices (nil = all, in enumeration order) under opts, emitting in
+// the order given.
+func runGridIndexed(ctx context.Context, g GridSpec, m Mode, opts GridOptions, indices []int, emit func(GridCellResult) bool) (err error) {
 	if verr := g.Validate(); verr != nil {
 		return verr
 	}
@@ -95,6 +131,17 @@ func RunGridStreamOpts(ctx context.Context, g GridSpec, m Mode, opts GridOptions
 		return fmt.Errorf("grid: measure budget %d too small for %d windows (each window needs at least one cycle)", m.MeasureCycles, gn.Windows)
 	}
 	cells := gn.enumerate(m)
+	if indices == nil {
+		indices = make([]int, len(cells))
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(cells) {
+			return fmt.Errorf("grid: cell index %d outside [0, %d)", idx, len(cells))
+		}
+	}
 	ex := &cellExecutor{m: m, opts: opts}
 	if opts.Journal != nil && opts.Resume {
 		ex.resume = opts.Journal.Entries()
@@ -106,8 +153,8 @@ func RunGridStreamOpts(ctx context.Context, g GridSpec, m Mode, opts GridOptions
 			err = fmt.Errorf("%v", p)
 		}
 	}()
-	streamOrdered(ctx, len(cells), m.Parallelism,
-		func(i int) GridCellResult { return ex.run(ctx, cells[i]) },
+	streamOrdered(ctx, len(indices), m.Parallelism,
+		func(i int) GridCellResult { return ex.run(ctx, cells[indices[i]]) },
 		func(_ int, r GridCellResult) bool {
 			if r.Error != nil && r.Error.Kind == cellCanceled {
 				return false // shutdown mid-cell: never emit the sentinel

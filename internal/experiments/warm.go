@@ -126,10 +126,20 @@ func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir st
 		key = CheckpointKey(cfg, specs, warmInstr)
 		path = CheckpointPath(ckptDir, key)
 		ph.set("restore")
+		// Shared dir lock for the whole restore: a concurrent
+		// -checkpoint-gc (another worker's maintenance on the shared dir)
+		// must not unlink the file mid-read. Failure to lock degrades to
+		// the unlocked behavior — locking is protection, not a
+		// precondition.
+		unlock, lerr := checkpoint.LockDirShared(ckptDir)
+		if lerr != nil {
+			unlock = func() {}
+		}
 		if r, err := checkpoint.Open(path, key); err == nil {
 			sys, rerr := core.NewSystemFromCheckpoint(cfg, specs, r)
 			r.Close()
 			if rerr == nil {
+				unlock()
 				info.Hit = true
 				info.RestoreSec = time.Since(t0).Seconds()
 				info.WarmupSec = info.RestoreSec
@@ -139,6 +149,7 @@ func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir st
 				return sys, info
 			}
 		}
+		unlock()
 		if cs != nil {
 			cs.Misses.Add(1)
 		}
@@ -159,6 +170,12 @@ func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir st
 		// writes a private temp file and the atomic renames carry
 		// identical bytes.
 		ph.set("checkpoint")
+		// Same shared lock for the save: GC must not prune the directory
+		// (or the freshly renamed file, under an aggressive age cutoff)
+		// while the atomic write is in flight.
+		if unlock, lerr := checkpoint.LockDirShared(ckptDir); lerr == nil {
+			defer unlock()
+		}
 		meta := buildMeta(cfg, specs, warmInstr)
 		if err := checkpoint.Save(path, key, meta, sys.Checkpoint); err != nil {
 			if cs != nil {

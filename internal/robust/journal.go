@@ -32,19 +32,10 @@ type journalLine struct {
 	Record json.RawMessage `json:"record"`
 }
 
-// OpenJournal opens (creating if needed) the journal at path for
-// appending. Existing content is scanned as a prefix log: entries are
-// loaded up to the first line that is torn (no trailing newline) or
-// fails to parse, and the file is truncated back to the end of that
-// valid prefix so subsequent appends always start on a clean line
-// boundary. DroppedBytes reports how much a repair discarded.
-func OpenJournal(path string) (*Journal, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("journal %s: %w", path, err)
-	}
-	entries := make(map[string]json.RawMessage)
-	good := 0
+// scanJournal loads entries from raw journal bytes as a prefix log:
+// entries parse up to the first line that is torn (no trailing newline)
+// or fails to unmarshal, and good reports where that valid prefix ends.
+func scanJournal(data []byte, entries map[string]json.RawMessage) (good int) {
 	for good < len(data) {
 		nl := bytes.IndexByte(data[good:], '\n')
 		if nl < 0 {
@@ -58,6 +49,60 @@ func OpenJournal(path string) (*Journal, error) {
 		entries[e.Key] = e.Record
 		good += nl + 1
 	}
+	return good
+}
+
+// LoadJournalEntries reads a journal file without opening it for
+// appending: the valid-prefix entries plus how many trailing bytes a
+// torn or corrupt tail would discard. A missing file is an empty
+// journal, matching OpenJournal.
+func LoadJournalEntries(path string) (entries map[string]json.RawMessage, dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, 0, fmt.Errorf("journal %s: %w", path, err)
+	}
+	entries = make(map[string]json.RawMessage)
+	good := scanJournal(data, entries)
+	return entries, len(data) - good, nil
+}
+
+// MergeJournalEntries unions the entries of several journal files —
+// the per-shard journals of a distributed sweep. Each file is loaded
+// with the same valid-prefix semantics as OpenJournal, so one shard's
+// torn tail costs only that shard's final entry, never the others.
+// Keys are content hashes of everything a record depends on, so
+// overlapping entries (a cell completed by two shards) are identical
+// by construction and the union is order-independent; later files win
+// ties, which cannot change any byte. dropped totals the torn-tail
+// bytes discarded across all files.
+func MergeJournalEntries(paths ...string) (entries map[string]json.RawMessage, dropped int, err error) {
+	entries = make(map[string]json.RawMessage)
+	for _, path := range paths {
+		e, d, err := LoadJournalEntries(path)
+		if err != nil {
+			return nil, dropped, err
+		}
+		dropped += d
+		for k, v := range e {
+			entries[k] = v
+		}
+	}
+	return entries, dropped, nil
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending. Existing content is scanned as a prefix log: entries are
+// loaded up to the first line that is torn (no trailing newline) or
+// fails to parse, and the file is truncated back to the end of that
+// valid prefix so subsequent appends always start on a clean line
+// boundary. DroppedBytes reports how much a repair discarded.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	entries := make(map[string]json.RawMessage)
+	good := scanJournal(data, entries)
 
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
 	if err != nil {

@@ -1,0 +1,218 @@
+package robust
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Property suite for per-shard journal merging (the distributed
+// runner's reassembly substrate, DESIGN.md §13): however a sweep's
+// entries are split across shard journals — including overlapping
+// entries completed by two shards and a torn tail on any shard — the
+// merged entry set equals what a single journal holding the same
+// entries reloads to.
+
+// writeJournal writes entries (in the given key order) as journal
+// lines via the real Append path, returning the file path.
+func writeJournal(t *testing.T, dir, name string, keys []string, recs map[string]string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, k := range keys {
+		if err := j.Append(k, recs[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestMergeJournalsPropertyShuffledShards(t *testing.T) {
+	// Deterministic pseudo-random splits/shuffles via the repo's RNG.
+	rng := sim.NewRNG(0xD157)
+
+	for trial := 0; trial < 40; trial++ {
+		dir := t.TempDir()
+		n := 1 + int(rng.Uint64n(25))
+		keys := make([]string, n)
+		recs := make(map[string]string, n)
+		for i := range keys {
+			keys[i] = Key("merge-test", fmt.Sprint(trial), fmt.Sprint(i))
+			recs[keys[i]] = fmt.Sprintf("record-%d-%d", trial, i)
+		}
+
+		// The reference: one journal holding every entry.
+		single := writeJournal(t, dir, "single.jl", keys, recs)
+		want, dropped, err := LoadJournalEntries(single)
+		if err != nil || dropped != 0 || len(want) != n {
+			t.Fatalf("trial %d: single journal load: n=%d dropped=%d err=%v", trial, len(want), dropped, err)
+		}
+
+		// Shuffle and split into 1..5 shards; duplicate a random prefix of
+		// another shard's keys into each (overlapping completions: the
+		// lease-reassignment race where two workers finish the same cell).
+		order := make([]string, n)
+		copy(order, keys)
+		for i := n - 1; i > 0; i-- {
+			j := int(rng.Uint64n(uint64(i + 1)))
+			order[i], order[j] = order[j], order[i]
+		}
+		shards := 1 + int(rng.Uint64n(5))
+		shardKeys := make([][]string, shards)
+		for i, k := range order {
+			s := i % shards
+			shardKeys[s] = append(shardKeys[s], k)
+		}
+		for s := range shardKeys {
+			other := shardKeys[int(rng.Uint64n(uint64(shards)))]
+			if len(other) > 0 {
+				dup := int(rng.Uint64n(uint64(len(other)))) + 1
+				shardKeys[s] = append(shardKeys[s], other[:dup]...)
+			}
+		}
+
+		var paths []string
+		for s := range shardKeys {
+			paths = append(paths, writeJournal(t, dir, fmt.Sprintf("shard-%d.jl", s), shardKeys[s], recs))
+		}
+
+		got, dropped, err := MergeJournalEntries(paths...)
+		if err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		if dropped != 0 {
+			t.Fatalf("trial %d: clean shards reported %d dropped bytes", trial, dropped)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged %d shards -> %d entries, want %d (shuffled shard split changed the record set)",
+				trial, shards, len(got), len(want))
+		}
+	}
+}
+
+// A torn tail on one shard costs exactly that shard's final entry —
+// the other shards' entries all survive the merge, and re-merging
+// after the shard is repaired (reopened and re-appended) converges to
+// the full set.
+func TestMergeJournalsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	keys := make([]string, 6)
+	recs := make(map[string]string, 6)
+	for i := range keys {
+		keys[i] = Key("torn-merge", fmt.Sprint(i))
+		recs[keys[i]] = fmt.Sprintf("r%d", i)
+	}
+	a := writeJournal(t, dir, "a.jl", keys[:3], recs)
+	b := writeJournal(t, dir, "b.jl", keys[3:], recs)
+
+	// Tear b's final line mid-write (crash during Append's write call).
+	if err := TruncateTail(b, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, dropped, err := MergeJournalEntries(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("torn tail not reported in dropped bytes")
+	}
+	if len(got) != 5 {
+		t.Fatalf("merged %d entries, want 5 (only the torn shard's final entry may drop)", len(got))
+	}
+	for _, k := range keys[:5] {
+		if string(got[k]) == "" {
+			t.Fatalf("entry %s lost by an unrelated shard's torn tail", k)
+		}
+	}
+
+	// Repair: reopening the torn shard truncates the tail; re-appending
+	// the lost entry restores the full set.
+	j, err := OpenJournal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.DroppedBytes() == 0 {
+		t.Fatal("reopen did not repair the torn tail")
+	}
+	if err := j.Append(keys[5], recs[keys[5]]); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	got, _, err = MergeJournalEntries(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("post-repair merge has %d entries, want 6", len(got))
+	}
+}
+
+// Physical concatenation (cat shard-*.jl > merged.jl) is the manual
+// recovery path README documents: with clean shards it must reload to
+// the same set in any concatenation order, and OpenJournal on the
+// concatenation agrees with MergeJournalEntries on the parts.
+func TestMergeJournalsConcatenation(t *testing.T) {
+	dir := t.TempDir()
+	keys := make([]string, 8)
+	recs := make(map[string]string, 8)
+	for i := range keys {
+		keys[i] = Key("cat-merge", fmt.Sprint(i))
+		recs[keys[i]] = fmt.Sprintf("r%d", i)
+	}
+	a := writeJournal(t, dir, "a.jl", keys[:4], recs)
+	b := writeJournal(t, dir, "b.jl", keys[4:], recs)
+	want, _, err := MergeJournalEntries(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, order := range [][]string{{a, b}, {b, a}} {
+		var buf bytes.Buffer
+		for _, p := range order {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(data)
+		}
+		cat := filepath.Join(dir, "cat.jl")
+		if err := os.WriteFile(cat, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := j.Entries()
+		j.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("concatenation order %v reloads %d entries, want %d", order, len(got), len(want))
+		}
+	}
+}
+
+// json.RawMessage equality sanity: merged entries are the exact bytes
+// the shard journals recorded (no re-marshal drift).
+func TestMergeJournalsPreservesRecordBytes(t *testing.T) {
+	dir := t.TempDir()
+	k := Key("bytes-merge")
+	p := writeJournal(t, dir, "a.jl", []string{k}, map[string]string{k: "payload"})
+	got, _, err := MergeJournalEntries(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s string
+	if err := json.Unmarshal(got[k], &s); err != nil || s != "payload" {
+		t.Fatalf("record bytes drifted: %q %v", got[k], err)
+	}
+}
