@@ -39,35 +39,41 @@ import (
 
 // cliConfig is the parsed flag set.
 type cliConfig struct {
-	full           bool
-	only           string
-	parallel       int
-	genThreads     int
-	benchJSON      bool
-	benchBaseline  string
-	checkpointDir  string
-	checkpointLS   bool
-	checkpointGC   int
-	grid           string
-	gridWindows    int
-	gridConfidence float64
-	gridOut        string
-	journal        string
-	resume         bool
-	resumeShards   string
-	cellDeadline   time.Duration
-	retries        int
-	retryBackoff   time.Duration
-	onError        string
-	serve          string
-	worker         string
-	workerID       string
-	leaseTTL       time.Duration
-	leaseCells     int
-	soloAfter      time.Duration
-	maxOffline     time.Duration
-	cpuprofile     string
-	memprofile     string
+	full            bool
+	only            string
+	parallel        int
+	genThreads      int
+	benchJSON       bool
+	benchBaseline   string
+	checkpointDir   string
+	checkpointLS    bool
+	checkpointGC    int
+	grid            string
+	scenario        string
+	scenarioSystems string
+	recordTrace     string
+	recordWorkload  string
+	recordOps       int
+	maskWallMS      bool
+	gridWindows     int
+	gridConfidence  float64
+	gridOut         string
+	journal         string
+	resume          bool
+	resumeShards    string
+	cellDeadline    time.Duration
+	retries         int
+	retryBackoff    time.Duration
+	onError         string
+	serve           string
+	worker          string
+	workerID        string
+	leaseTTL        time.Duration
+	leaseCells      int
+	soloAfter       time.Duration
+	maxOffline      time.Duration
+	cpuprofile      string
+	memprofile      string
 }
 
 func main() {
@@ -82,6 +88,12 @@ func main() {
 	flag.BoolVar(&c.checkpointLS, "checkpoint-ls", false, "with -checkpoint-dir: list the directory's checkpoints (key, size, age, header metadata) and exit")
 	flag.IntVar(&c.checkpointGC, "checkpoint-gc", -1, "with -checkpoint-dir: prune checkpoints older than N days or with a stale/corrupt format header, then exit (0 prunes everything)")
 	flag.StringVar(&c.grid, "grid", "", `batch mode: stream a (system x workload x override) grid as JSON-lines, e.g. "systems=Baseline,SILO;workloads=WebSearch,DataServing;overrides=scale=64|llc_mb=64"`)
+	flag.StringVar(&c.scenario, "scenario", "", `run a declarative scenario spec file (YAML/JSON; DESIGN.md §14) as a sweep: shorthand for -grid "systems=<-scenario-systems>;scenarios=<file>", so every -grid companion flag (-journal, -resume, -grid-out, -serve, ...) applies`)
+	flag.StringVar(&c.scenarioSystems, "scenario-systems", "SILO", "with -scenario: comma-separated system names the scenario runs on")
+	flag.StringVar(&c.recordTrace, "record-trace", "", "record a workload address trace to this file (RPT1 format, atomic write) and exit; the recording is core 0 of a 1-core stream at scale 16, seed 1, so replays are reproducible from the flag values alone")
+	flag.StringVar(&c.recordWorkload, "record-workload", "WebSearch", "with -record-trace: workload preset to record (scale-out, enterprise and SPEC CPU2006 names)")
+	flag.IntVar(&c.recordOps, "record-ops", 200000, "with -record-trace: number of ops to record")
+	flag.BoolVar(&c.maskWallMS, "mask-wall-ms", false, `filter stdin to stdout zeroing every "wall_ms" field — the canonical normalizer for byte-comparing grid outputs (replaces ad-hoc sed in CI)`)
 	flag.IntVar(&c.gridWindows, "grid-windows", 0, "with -grid: measurement windows per cell (the CI sample count; 0 = default)")
 	flag.Float64Var(&c.gridConfidence, "grid-confidence", 0, "with -grid: confidence level for the per-cell IPC interval (0 = 0.95)")
 	flag.StringVar(&c.gridOut, "grid-out", "", "with -grid: write the JSON-lines to this file atomically (temp file + rename on completion) instead of stdout")
@@ -145,6 +157,14 @@ func validateSetFlags(c cliConfig) string {
 			if c.maxOffline <= 0 {
 				msg = fmt.Sprintf("-max-offline %v is not positive — pass how long a worker should outlive a coordinator outage, like 2m", c.maxOffline)
 			}
+		case "record-ops":
+			if c.recordOps <= 0 {
+				msg = fmt.Sprintf("-record-ops %d is not positive (N = ops written to the trace)", c.recordOps)
+			}
+		case "scenario-systems":
+			if strings.TrimSpace(c.scenarioSystems) == "" {
+				msg = "-scenario-systems is empty — pass comma-separated system names like SILO,Baseline"
+			}
 		}
 	})
 	return msg
@@ -169,6 +189,25 @@ func run(c cliConfig) int {
 	if c.serve != "" && c.worker != "" {
 		fmt.Fprintln(os.Stderr, "paperbench: -serve and -worker are mutually exclusive — a process is a coordinator or a worker, not both")
 		return 2
+	}
+	if c.maskWallMS {
+		// A pure stdin->stdout filter: no simulation, no profiles.
+		return runMaskWallMS(os.Stdin, os.Stdout)
+	}
+	if c.recordTrace != "" {
+		return runRecordTrace(c)
+	}
+	if c.scenario != "" {
+		if c.grid != "" {
+			fmt.Fprintln(os.Stderr, `paperbench: -scenario and -grid are mutually exclusive — scenarios= is a grid axis, so use -grid "...;scenarios=FILE" to combine them with other axes`)
+			return 2
+		}
+		arg, err := scenarioGridArg(c.scenario, c.scenarioSystems)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			return 2
+		}
+		c.grid = arg
 	}
 	if c.cpuprofile != "" {
 		f, err := os.Create(c.cpuprofile)

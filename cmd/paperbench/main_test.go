@@ -137,11 +137,19 @@ func TestParseGridSpecErrors(t *testing.T) {
 		{"systems=NoSuch;workloads=WebSearch", "unknown system"},
 		{"systems=Baseline;workloads=NoSuch", "unknown workload"},
 		{"systems=Baseline;workloads=WebSearch;overrides=frobnicate=1", "unknown key"},
-		{"systems=Baseline;workloads=WebSearch;overrides=scale=-3", "positive integer"},
+		{"systems=Baseline;workloads=WebSearch;overrides=scale=-3", "scale wants an integer in [1,"},
 		{"systems=Baseline;workloads=WebSearch;overrides=l2=maybe", "l2 wants true or false"},
 		{"systems=Baseline;workloads=WebSearch;overrides=protocol=mosi", "protocol wants"},
 		{"systems=Baseline;workloads=WebSearch;bogus", "not axis=values"},
 		{"colors=red;systems=Baseline;workloads=WebSearch", "unknown grid axis"},
+		// Parse-time hardening: duplicate keys and out-of-domain values
+		// fail before any cell simulates, naming the key.
+		{"systems=Baseline;workloads=WebSearch;overrides=scale=8,scale=16", "key scale given twice"},
+		{"systems=Baseline;workloads=WebSearch;overrides=llc_mb=9999999999999", "llc_mb wants an integer in [1,"},
+		{"systems=Baseline;workloads=WebSearch;overrides=cores=0", "cores wants an integer in [1,"},
+		{"systems=Baseline;workloads=WebSearch;overrides=vault_ways=1000000", "vault_ways wants an integer in [1,"},
+		{"systems=Baseline;workloads=WebSearch;systems=SILO", `axis "systems" given twice`},
+		{"systems=Baseline;scenarios=/nonexistent/spec.yaml", "no such file"},
 	}
 	for _, c := range cases {
 		if _, err := parseGridSpec(c.arg, 0, 0); err == nil || !strings.Contains(err.Error(), c.wantErr) {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/robust"
+	"repro/internal/workload"
+)
+
+// Small scenario companions: the -scenario shorthand translation, the
+// -record-trace recorder, and the -mask-wall-ms output normalizer.
+
+// scenarioGridArg translates -scenario/-scenario-systems into the
+// textual grid spec the batch machinery (and the distributed
+// coordinator's wire format) already speak. The translation is textual
+// on purpose — a -serve coordinator ships the grid string to workers,
+// and a shorthand that bypassed it would give scenario sweeps a
+// different distribution path than hand-written grids.
+func scenarioGridArg(file, systems string) (string, error) {
+	// ';' and ',' are the grid spec's separators; a path containing them
+	// cannot round-trip through the textual form.
+	if strings.ContainsAny(file, ";,") {
+		return "", fmt.Errorf(`-scenario %q: the path contains ';' or ',', which the grid spec syntax reserves — rename or symlink the file`, file)
+	}
+	systems = strings.TrimSpace(systems)
+	if systems == "" || strings.Contains(systems, ";") {
+		return "", fmt.Errorf("-scenario-systems %q must be comma-separated system names", systems)
+	}
+	return "systems=" + systems + ";scenarios=" + strings.TrimSpace(file), nil
+}
+
+// recordBatch bounds the per-call generation buffer so a large
+// -record-ops streams through a fixed-size chunk instead of one giant
+// allocation.
+const recordBatch = 1 << 16
+
+// runRecordTrace generates c.recordOps ops of the named workload preset
+// and writes them as an RPT1 trace file (atomic: temp + rename). The
+// stream parameters are fixed and documented on the flag — core 0 of a
+// 1-core stream, scale 16, seed 1 — so a trace is reproducible from its
+// flag values and the recorded content hash is stable across hosts.
+func runRecordTrace(c cliConfig) int {
+	spec, err := experiments.WorkloadByName(c.recordWorkload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "record-trace: %v\n", err)
+		return 2
+	}
+	if c.recordOps <= 0 {
+		fmt.Fprintf(os.Stderr, "record-trace: -record-ops %d is not positive\n", c.recordOps)
+		return 2
+	}
+	var buf bytes.Buffer
+	tw, err := workload.NewTraceWriter(&buf, spec.Name, spec.MLP)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "record-trace: %v\n", err)
+		return 1
+	}
+	st := workload.NewStream(spec, 0, 1, 16, 1)
+	ops := make([]workload.Op, recordBatch)
+	for left := c.recordOps; left > 0; {
+		n := min(left, recordBatch)
+		st.NextBatch(ops[:n])
+		if err := tw.Write(ops[:n]); err != nil {
+			fmt.Fprintf(os.Stderr, "record-trace: %v\n", err)
+			return 1
+		}
+		left -= n
+	}
+	if err := tw.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "record-trace: %v\n", err)
+		return 1
+	}
+	if err := robust.WriteFileAtomic(c.recordTrace, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "record-trace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "[record-trace: %d %s ops -> %s (%d bytes)]\n",
+		c.recordOps, spec.Name, c.recordTrace, buf.Len())
+	return 0
+}
+
+// runMaskWallMS streams stdin to stdout with every wall_ms field zeroed
+// (experiments.MaskWallMS). CI's byte-identity checks pipe grid outputs
+// through this instead of each maintaining its own sed, so the masking
+// rule lives in exactly one tested place.
+func runMaskWallMS(r io.Reader, w io.Writer) int {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	for {
+		line, err := br.ReadString('\n')
+		if line != "" {
+			if _, werr := bw.WriteString(experiments.MaskWallMS(line)); werr != nil {
+				fmt.Fprintf(os.Stderr, "mask-wall-ms: %v\n", werr)
+				return 1
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mask-wall-ms: %v\n", err)
+			return 1
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "mask-wall-ms: %v\n", err)
+		return 1
+	}
+	return 0
+}

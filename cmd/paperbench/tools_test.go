@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestScenarioGridArg(t *testing.T) {
+	got, err := scenarioGridArg("examples/scenarios/consolidation.yaml", "SILO,Baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "systems=SILO,Baseline;scenarios=examples/scenarios/consolidation.yaml"
+	if got != want {
+		t.Fatalf("scenarioGridArg = %q, want %q", got, want)
+	}
+	for _, c := range []struct{ file, systems, wantErr string }{
+		{"a;b.yaml", "SILO", "reserves"},
+		{"a,b.yaml", "SILO", "reserves"},
+		{"spec.yaml", "", "comma-separated"},
+		{"spec.yaml", "SILO;Baseline", "comma-separated"},
+	} {
+		if _, err := scenarioGridArg(c.file, c.systems); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("scenarioGridArg(%q, %q) error = %v, want containing %q", c.file, c.systems, err, c.wantErr)
+		}
+	}
+}
+
+// The recorded file must be a valid RPT1 trace that round-trips through
+// the workload reader with the preset's name, MLP and the exact op
+// count — and be byte-stable across recordings (the fixed stream
+// parameters are the point of the tool).
+func TestRecordTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "web.rpt")
+	c := cliConfig{recordTrace: path, recordWorkload: "WebSearch", recordOps: 70000}
+	if code := runRecordTrace(c); code != 0 {
+		t.Fatalf("runRecordTrace exited %d", code)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, mlp, ops, err := workload.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "WebSearch" || mlp != workload.WebSearch().MLP || len(ops) != 70000 {
+		t.Fatalf("trace = %q mlp=%d ops=%d", name, mlp, len(ops))
+	}
+
+	c.recordTrace = filepath.Join(dir, "web2.rpt")
+	if code := runRecordTrace(c); code != 0 {
+		t.Fatalf("second runRecordTrace exited %d", code)
+	}
+	raw2, err := os.ReadFile(c.recordTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("two recordings of the same flags differ")
+	}
+
+	if code := runRecordTrace(cliConfig{recordTrace: path, recordWorkload: "NoSuch", recordOps: 1}); code != 2 {
+		t.Fatalf("unknown workload exited %d, want 2", code)
+	}
+}
+
+func TestRunMaskWallMSFilter(t *testing.T) {
+	in := `{"system":"SILO","wall_ms":12.5,"ipc":1.25}` + "\n" +
+		`{"warm_wall_ms":9.1,"wall_ms":3}` + "\n" +
+		`no json here` // deliberately unterminated last line
+	var out bytes.Buffer
+	if code := runMaskWallMS(strings.NewReader(in), &out); code != 0 {
+		t.Fatalf("runMaskWallMS exited %d", code)
+	}
+	want := `{"system":"SILO","wall_ms":0,"ipc":1.25}` + "\n" +
+		`{"warm_wall_ms":9.1,"wall_ms":0}` + "\n" +
+		`no json here`
+	if out.String() != want {
+		t.Fatalf("filtered output:\n%s\nwant:\n%s", out.String(), want)
+	}
+}

@@ -32,8 +32,8 @@ func (s *System) Checkpoint(w *checkpoint.Writer) error {
 	s.engine.Snapshot(w)
 	s.mainMem.Snapshot(w)
 	s.mesh.Snapshot(w)
-	w.I64(int64(len(s.streams)))
-	for _, st := range s.streams {
+	w.I64(int64(len(s.sources)))
+	for _, st := range s.sources {
 		st.Snapshot(w)
 	}
 	w.I64(int64(len(s.cores)))
@@ -50,7 +50,20 @@ func (s *System) Checkpoint(w *checkpoint.Writer) error {
 // Any mismatch (geometry, kind, corruption) is an error; the caller
 // falls back to a from-scratch build and discards the partial system.
 func NewSystemFromCheckpoint(cfg Config, specs []workload.Spec, r *checkpoint.Reader) (*System, error) {
-	sys := NewSystem(cfg, specs)
+	return restoreSystem(NewSystem(cfg, specs), r)
+}
+
+// NewSystemFromCheckpointSources is NewSystemFromCheckpoint for the
+// scenario path: the caller rebuilds the per-core sources exactly as it
+// did for the snapshotted system (the checkpoint key covers the
+// scenario digest, so equal keys mean equal source construction), and
+// the restore overwrites their mutable state through each source's
+// Restore seam.
+func NewSystemFromCheckpointSources(cfg Config, sources []workload.Source, r *checkpoint.Reader) (*System, error) {
+	return restoreSystem(NewSystemFromSources(cfg, sources), r)
+}
+
+func restoreSystem(sys *System, r *checkpoint.Reader) (*System, error) {
 	if err := sys.restoreFrom(r); err != nil {
 		return nil, err
 	}
@@ -82,13 +95,13 @@ func (s *System) restoreFrom(r *checkpoint.Reader) error {
 	if err := s.mesh.Restore(r); err != nil {
 		return err
 	}
-	if n := int(r.I64()); n != len(s.streams) {
+	if n := int(r.I64()); n != len(s.sources) {
 		if err := r.Err(); err != nil {
 			return err
 		}
-		return fmt.Errorf("core: checkpoint has %d streams, system has %d", n, len(s.streams))
+		return fmt.Errorf("core: checkpoint has %d streams, system has %d", n, len(s.sources))
 	}
-	for _, st := range s.streams {
+	for _, st := range s.sources {
 		if err := st.Restore(r); err != nil {
 			return err
 		}

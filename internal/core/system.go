@@ -47,7 +47,7 @@ type System struct {
 	mainMem *memctl.Memory
 	hier    hierarchy
 	cores   []*cpu.Core
-	streams []*workload.Stream
+	sources []workload.Source
 	started bool
 	// prefetch opts the timed phase into the home-slot batch prefetcher
 	// (EnablePrefetch); off by default — see the method comment.
@@ -74,6 +74,23 @@ func NewSystem(cfg Config, specs []workload.Spec) *System {
 	default:
 		panic(fmt.Sprintf("core: %d specs for %d cores", len(specs), cfg.Cores))
 	}
+	sources := make([]workload.Source, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		sources[c] = workload.NewStream(perCore[c], c, cfg.Cores, cfg.Scale, cfg.Seed)
+	}
+	return NewSystemFromSources(cfg, sources)
+}
+
+// NewSystemFromSources builds a system over pre-built per-core op
+// sources — the scenario path (DESIGN.md §14): internal/scenario
+// compiles a spec file's clients into phased streams, trace replays and
+// sharing-group bindings, then hands exactly cfg.Cores sources here.
+// NewSystem is this constructor with one synthetic Stream per core.
+func NewSystemFromSources(cfg Config, sources []workload.Source) *System {
+	cfg.Validate()
+	if len(sources) != cfg.Cores {
+		panic(fmt.Sprintf("core: %d sources for %d cores", len(sources), cfg.Cores))
+	}
 
 	engine := sim.NewEngine()
 	w, h := meshDims(cfg.Cores)
@@ -93,11 +110,10 @@ func NewSystem(cfg Config, specs []workload.Spec) *System {
 		s.hier = newPrivateHierarchy(s)
 	}
 
-	s.streams = make([]*workload.Stream, cfg.Cores)
+	s.sources = sources
 	s.cores = make([]*cpu.Core, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
-		s.streams[c] = workload.NewStream(perCore[c], c, cfg.Cores, cfg.Scale, cfg.Seed)
-		s.cores[c] = cpu.New(engine, c, cpu.DefaultConfig(), s.streams[c], newCoreAdapter(s.hier))
+		s.cores[c] = cpu.New(engine, c, cpu.DefaultConfig(), s.sources[c], newCoreAdapter(s.hier))
 	}
 	return s
 }
@@ -241,7 +257,7 @@ func (s *System) WarmFunctional(instrPerCore int) {
 			n = instrPerCore - done
 		}
 		for c := 0; c < s.cfg.Cores; c++ {
-			st := s.streams[c]
+			st := s.sources[c]
 			for i := 0; i < n; i++ {
 				st.Next(&op)
 				s.warmOne(c, &op)
@@ -268,7 +284,7 @@ func (s *System) warmOne(c int, op *workload.Op) {
 // and every stream sits exactly instrPerCore ops in, so warm state cut
 // here is identical to the synchronous path's.
 func (s *System) warmRing(instrPerCore int) {
-	ps := workload.StartProducers(s.streams, s.cfg.GenThreads, int64(instrPerCore))
+	ps := workload.StartProducers(s.sources, s.cfg.GenThreads, int64(instrPerCore))
 	cur := make([][]workload.Op, s.cfg.Cores)
 	for done := 0; done < instrPerCore; done += warmChunk {
 		n := warmChunk
@@ -319,7 +335,7 @@ func (s *System) startCores() {
 		return
 	}
 	if s.cfg.GenThreads > 0 {
-		s.producers = workload.StartProducers(s.streams, s.cfg.GenThreads, -1)
+		s.producers = workload.StartProducers(s.sources, s.cfg.GenThreads, -1)
 		for i, c := range s.cores {
 			c.AttachRing(s.producers.Ring(i))
 		}
@@ -404,7 +420,7 @@ func (s *System) Prewarm() {
 	ems := make([]*emitter, s.cfg.Cores)
 	for c := 0; c < s.cfg.Cores; c++ {
 		e := &emitter{}
-		s.streams[c].Prewarm(func(addr mem.Addr, instr bool) {
+		s.sources[c].Prewarm(func(addr mem.Addr, instr bool) {
 			e.addrs = append(e.addrs, addr)
 			e.instr = append(e.instr, instr)
 		})

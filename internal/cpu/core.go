@@ -69,12 +69,12 @@ type BatchPrefetcher interface {
 	PrefetchBatch(core int, ops []workload.Op)
 }
 
-// Core drives one workload stream through the hierarchy.
+// Core drives one workload op source through the hierarchy.
 type Core struct {
 	ID     int
 	cfg    Config
 	engine *sim.Engine
-	stream *workload.Stream
+	stream workload.Source
 	path   Hierarchy
 	ring   *workload.Ring  // nil = synchronous NextBatch refills
 	pf     BatchPrefetcher // nil = no home-slot prefetch
@@ -118,7 +118,7 @@ type Core struct {
 }
 
 // New builds a core. Start must be called to begin execution.
-func New(engine *sim.Engine, id int, cfg Config, stream *workload.Stream, path Hierarchy) *Core {
+func New(engine *sim.Engine, id int, cfg Config, stream workload.Source, path Hierarchy) *Core {
 	if cfg.Width <= 0 || cfg.Burst <= 0 {
 		panic(fmt.Sprintf("cpu: bad config %+v", cfg))
 	}

@@ -410,7 +410,8 @@ func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
 			BackoffCapMS:   c.cfg.Backoff.Cap.Milliseconds(),
 			CellDeadlineMS: c.cfg.CellDeadline.Milliseconds(),
 		},
-		Cells: c.n,
+		Cells:           c.n,
+		ScenarioDigests: c.spec.ScenarioDigests(),
 	})
 }
 

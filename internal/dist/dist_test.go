@@ -8,7 +8,6 @@ import (
 	"net"
 	"net/http"
 	"path/filepath"
-	"regexp"
 	"sync"
 	"testing"
 	"time"
@@ -27,9 +26,10 @@ const (
 	testGrid12 = probeGrid
 )
 
-var wallRe = regexp.MustCompile(`"wall_ms":[^,}]*`)
-
-func maskWall(line string) string { return wallRe.ReplaceAllString(line, `"wall_ms":0`) }
+// maskWall delegates to the one shared masking implementation — the
+// byte-identity contract everywhere is "modulo wall_ms and nothing
+// else", so every comparison must mask with the same code.
+func maskWall(line string) string { return experiments.MaskWallMS(line) }
 
 // goldenLines runs the grid single-process — the byte-identity
 // reference — and returns its wall_ms-masked JSON lines.

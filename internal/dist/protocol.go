@@ -102,6 +102,12 @@ type SpecResponse struct {
 	// Cells is the coordinator's cell count — a compile cross-check: a
 	// worker whose parse disagrees refuses to join.
 	Cells int `json:"cells"`
+	// ScenarioDigests are the content digests of the grid's scenario
+	// axis points (empty for workload-only grids). The grid string names
+	// scenario *files*; a worker whose local copies hash differently —
+	// stale spec, edited trace — refuses to join rather than emit
+	// records keyed to a different scenario.
+	ScenarioDigests []string `json:"scenario_digests,omitempty"`
 }
 
 // LeaseRequest asks for a batch of cells. Max caps the batch at the

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"slices"
 	"time"
 
 	"repro/internal/experiments"
@@ -161,6 +162,14 @@ func (w *Worker) fetchSpec(ctx context.Context) error {
 	}
 	if g.Cells() != spec.Cells {
 		return fmt.Errorf("dist: grid compiles to %d cells here, %d at the coordinator — refusing to join", g.Cells(), spec.Cells)
+	}
+	// The grid string names scenario files, not contents; hash-compare
+	// the local copies against the coordinator's so a stale spec or
+	// trace on this host can't contribute records keyed to a different
+	// scenario.
+	if local := g.ScenarioDigests(); !slices.Equal(local, spec.ScenarioDigests) {
+		return fmt.Errorf("dist: scenario digests here %v != coordinator %v — spec or trace files differ on this host, refusing to join",
+			local, spec.ScenarioDigests)
 	}
 	onErr, err := robust.ParseFailPolicy(spec.Options.OnError)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/robust"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -45,6 +46,12 @@ func NoOverride() Override {
 type GridSpec struct {
 	Systems   []core.Config
 	Workloads []workload.Spec
+	// Scenarios are compiled spec files swept as first-class workload
+	// axis points alongside Workloads: each (system, scenario, override)
+	// triple is one cell, named "scenario:<name>" in the workload column.
+	// A scenario binds every core itself, so the cell ignores the uniform
+	// one-spec-per-core layout and compiles per-core sources instead.
+	Scenarios []*scenario.Scenario
 	// Overrides defaults to {NoOverride()} when empty.
 	Overrides []Override
 	// Windows is the number of measurement windows per cell (the CI
@@ -109,8 +116,8 @@ type GridCellResult struct {
 // CLI-reachable paths (RunGridStreamOpts validates instead of
 // panicking; panics remain only for internal invariant violations).
 func (g GridSpec) Validate() error {
-	if len(g.Systems) == 0 || len(g.Workloads) == 0 {
-		return errors.New("grid needs at least one system and one workload (pass systems=... and workloads=...)")
+	if len(g.Systems) == 0 || len(g.Workloads)+len(g.Scenarios) == 0 {
+		return errors.New("grid needs at least one system and one workload or scenario (pass systems=... and workloads=.../scenarios=...)")
 	}
 	if g.Confidence >= 1 {
 		return fmt.Errorf("grid confidence %v outside (0,1) — e.g. 0.95, not a percentage", g.Confidence)
@@ -135,10 +142,23 @@ func (g GridSpec) normalized() GridSpec {
 	return g
 }
 
+// ScenarioDigests returns the content digest of every scenario axis
+// point, in axis order. The distributed runner cross-checks these at
+// worker registration: the grid string ships file *paths*, so two
+// processes can compile the same string from divergent file copies —
+// equal digests prove they didn't.
+func (g GridSpec) ScenarioDigests() []string {
+	out := make([]string, len(g.Scenarios))
+	for i, s := range g.Scenarios {
+		out[i] = s.Digest()
+	}
+	return out
+}
+
 // Cells returns the number of cells the grid enumerates.
 func (g GridSpec) Cells() int {
 	g = g.normalized()
-	return len(g.Systems) * len(g.Workloads) * len(g.Overrides)
+	return len(g.Systems) * (len(g.Workloads) + len(g.Scenarios)) * len(g.Overrides)
 }
 
 // gridCell is one enumerated cell before execution.
@@ -146,7 +166,8 @@ type gridCell struct {
 	index          int
 	system, wl, ov string
 	cfg            core.Config
-	spec           workload.Spec
+	spec           workload.Spec      // uniform-workload cells
+	scen           *scenario.Scenario // scenario cells (spec unused)
 	windows        int
 	confidence     float64
 }
@@ -158,7 +179,7 @@ func (g GridSpec) enumerate(m Mode) []gridCell {
 	g = g.normalized()
 	cells := make([]gridCell, 0, g.Cells())
 	for _, sys := range g.Systems {
-		for _, spec := range g.Workloads {
+		add := func(wl string, spec workload.Spec, scen *scenario.Scenario) {
 			for _, ov := range g.Overrides {
 				cfg := sys
 				cfg.Scale = m.Scale
@@ -167,14 +188,21 @@ func (g GridSpec) enumerate(m Mode) []gridCell {
 				cells = append(cells, gridCell{
 					index:      len(cells),
 					system:     sys.Kind.String(),
-					wl:         spec.Name,
+					wl:         wl,
 					ov:         ov.Name,
 					cfg:        cfg,
 					spec:       spec,
+					scen:       scen,
 					windows:    g.Windows,
 					confidence: g.Confidence,
 				})
 			}
+		}
+		for _, spec := range g.Workloads {
+			add(spec.Name, spec, nil)
+		}
+		for _, scen := range g.Scenarios {
+			add("scenario:"+scen.Name, workload.Spec{}, scen)
 		}
 	}
 	return cells
@@ -273,7 +301,12 @@ func simulateCell(ctx context.Context, c gridCell, m Mode, inj *robust.Injector,
 	// abandoned attempts unwind instead of sleeping on).
 	inj.Fire(ctx, "cell", c.index, attempt)
 
-	sys, _ := buildWarm(c.cfg, []workload.Spec{c.spec}, m.WarmInstr, m.CheckpointDir, m.Checkpoints, ph)
+	var sys *core.System
+	if c.scen != nil {
+		sys, _ = buildWarmScenario(c.cfg, c.scen, m.WarmInstr, m.CheckpointDir, m.Checkpoints, ph)
+	} else {
+		sys, _ = buildWarm(c.cfg, []workload.Spec{c.spec}, m.WarmInstr, m.CheckpointDir, m.Checkpoints, ph)
+	}
 	// Producer goroutines (GenThreads > 0) must die on every exit path —
 	// normal completion, invariant panic, injected cell panic — or a
 	// skip-mode sweep would leak a producer set per failed cell.

@@ -201,11 +201,18 @@ type cellExecutor struct {
 // code-version salt, the mode's measurement geometry, and the cell's
 // full identity. Overrides are keyed by name — the CLI compiles names
 // to mutations deterministically, so equal names mean equal configs.
+// Scenario cells additionally fold in the scenario digest, so editing a
+// spec file (or the trace it references) invalidates exactly its own
+// journal entries; workload cells keep their historical keys.
 func (e *cellExecutor) key(c gridCell) string {
-	return robust.Key(GridJournalSalt, e.m.Name,
+	parts := []string{GridJournalSalt, e.m.Name,
 		fmt.Sprint(e.m.WarmInstr), fmt.Sprint(e.m.WarmCycles), fmt.Sprint(e.m.MeasureCycles),
 		fmt.Sprint(c.index), c.system, c.wl, c.ov,
-		fmt.Sprint(c.cfg.Scale), fmt.Sprint(c.windows), fmt.Sprint(c.confidence))
+		fmt.Sprint(c.cfg.Scale), fmt.Sprint(c.windows), fmt.Sprint(c.confidence)}
+	if c.scen != nil {
+		parts = append(parts, c.scen.Digest())
+	}
+	return robust.Key(parts...)
 }
 
 func (e *cellExecutor) journalErr() error {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -69,13 +70,18 @@ func WorkloadByName(name string) (workload.Spec, error) {
 }
 
 // ParseOverride compiles one override set ("scale=64,llc_mb=64" or "-")
-// into a named config mutation. Assignments apply left to right.
+// into a named config mutation. Assignments apply left to right; every
+// value is validated here, at parse time, with the key name in the
+// error — a bad override must fail before any cell simulates, not as a
+// config panic mid-sweep — and a key given twice is rejected rather
+// than silently last-writer-wins.
 func ParseOverride(set string) (Override, error) {
 	set = strings.TrimSpace(set)
 	if set == "" || set == "-" {
 		return NoOverride(), nil
 	}
 	var setters []func(*core.Config)
+	seen := map[string]bool{}
 	for _, kv := range strings.Split(set, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
@@ -83,64 +89,73 @@ func ParseOverride(set string) (Override, error) {
 		}
 		key = strings.ToLower(strings.TrimSpace(key))
 		val = strings.TrimSpace(val)
-		num := func() (int64, error) {
+		if seen[key] {
+			return Override{}, fmt.Errorf("override %q: key %s given twice", set, key)
+		}
+		seen[key] = true
+		// num validates the value into [1, max] at parse time, naming the
+		// key. The caps are generous physical bounds (a petabyte-class
+		// cache, a 64k-core die), there to catch typos and unit mistakes —
+		// llc_mb=68719476736 for 64 GiB — before they overflow a shift or
+		// allocate the host to death mid-sweep.
+		num := func(max int64) (int64, error) {
 			n, err := strconv.ParseInt(val, 10, 64)
-			if err != nil || n <= 0 {
-				return 0, fmt.Errorf("override %q: %s wants a positive integer, got %q", set, key, val)
+			if err != nil || n <= 0 || n > max {
+				return 0, fmt.Errorf("override %q: %s wants an integer in [1, %d], got %q", set, key, max, val)
 			}
 			return n, nil
 		}
 		switch key {
 		case "scale":
-			n, err := num()
+			n, err := num(1 << 30)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.Scale = n })
 		case "cores":
-			n, err := num()
+			n, err := num(1 << 16)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.Cores = int(n) })
 		case "seed":
-			n, err := num()
+			n, err := num(1<<63 - 1)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.Seed = uint64(n) })
 		case "llc_mb":
-			n, err := num()
+			n, err := num(1 << 30)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.LLCSize = n << 20 })
 		case "llc_ways":
-			n, err := num()
+			n, err := num(1 << 12)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.LLCWays = int(n) })
 		case "llc_extra":
-			n, err := num()
+			n, err := num(1 << 20)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.LLCExtraLatency = sim.Cycle(n) })
 		case "rwmult":
-			n, err := num()
+			n, err := num(1 << 12)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.RWSharedMult = int(n) })
 		case "vault_mb":
-			n, err := num()
+			n, err := num(1 << 30)
 			if err != nil {
 				return Override{}, err
 			}
 			setters = append(setters, func(c *core.Config) { c.VaultCapacity = n << 20 })
 		case "vault_ways":
-			n, err := num()
+			n, err := num(1 << 12)
 			if err != nil {
 				return Override{}, err
 			}
@@ -182,9 +197,16 @@ func ParseOverride(set string) (Override, error) {
 	}, nil
 }
 
-// ParseGridSpec compiles a textual grid argument into a GridSpec.
+// ParseGridSpec compiles a textual grid argument into a GridSpec. A
+// scenarios= axis names spec files (see internal/scenario), loaded from
+// the local filesystem — under the distributed runner every process
+// compiles the same string, so workers must see the same files; the
+// coordinator cross-checks scenario digests at registration to catch
+// divergent copies. Each axis may appear at most once: a repeated axis
+// in a hand-built string is a typo that would silently widen the sweep.
 func ParseGridSpec(arg string, windows int, confidence float64) (GridSpec, error) {
 	g := GridSpec{Windows: windows, Confidence: confidence}
+	seen := map[string]bool{}
 	for _, section := range strings.Split(arg, ";") {
 		section = strings.TrimSpace(section)
 		if section == "" {
@@ -194,7 +216,12 @@ func ParseGridSpec(arg string, windows int, confidence float64) (GridSpec, error
 		if !ok {
 			return g, fmt.Errorf("grid section %q is not axis=values", section)
 		}
-		switch strings.ToLower(strings.TrimSpace(key)) {
+		axis := strings.ToLower(strings.TrimSpace(key))
+		if seen[axis] {
+			return g, fmt.Errorf("grid axis %q given twice", axis)
+		}
+		seen[axis] = true
+		switch axis {
 		case "systems":
 			for _, name := range strings.Split(val, ",") {
 				cfg, err := SystemByName(strings.TrimSpace(name))
@@ -211,6 +238,14 @@ func ParseGridSpec(arg string, windows int, confidence float64) (GridSpec, error
 				}
 				g.Workloads = append(g.Workloads, spec)
 			}
+		case "scenarios":
+			for _, path := range strings.Split(val, ",") {
+				scen, err := scenario.Load(strings.TrimSpace(path), WorkloadByName)
+				if err != nil {
+					return g, err
+				}
+				g.Scenarios = append(g.Scenarios, scen)
+			}
 		case "overrides":
 			for _, set := range strings.Split(val, "|") {
 				ov, err := ParseOverride(set)
@@ -220,11 +255,11 @@ func ParseGridSpec(arg string, windows int, confidence float64) (GridSpec, error
 				g.Overrides = append(g.Overrides, ov)
 			}
 		default:
-			return g, fmt.Errorf("unknown grid axis %q (want systems, workloads or overrides)", key)
+			return g, fmt.Errorf("unknown grid axis %q (want systems, workloads, scenarios or overrides)", key)
 		}
 	}
-	if len(g.Systems) == 0 || len(g.Workloads) == 0 {
-		return g, fmt.Errorf("grid %q needs at least systems=... and workloads=...", arg)
+	if len(g.Systems) == 0 || len(g.Workloads)+len(g.Scenarios) == 0 {
+		return g, fmt.Errorf("grid %q needs at least systems=... and workloads=... or scenarios=...", arg)
 	}
 	return g, nil
 }

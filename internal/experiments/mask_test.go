@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestMaskWallMS proves the shared masker rewrites wall_ms and ONLY
+// wall_ms — the bug the ad-hoc `"wall_ms":[^,}]*` pattern had was
+// matching inside any future field whose name ends in wall_ms.
+func TestMaskWallMS(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// The real schema shape.
+		{`{"index":0,"wall_ms":12.345,"ipc":1.5}`, `{"index":0,"wall_ms":0,"ipc":1.5}`},
+		// Last field, exponent form.
+		{`{"ipc":1.5,"wall_ms":1.2e-3}`, `{"ipc":1.5,"wall_ms":0}`},
+		// First field.
+		{`{"wall_ms":7,"a":1}`, `{"wall_ms":0,"a":1}`},
+		// A future sibling field must survive untouched.
+		{`{"warm_wall_ms":9.9,"wall_ms":7,"a":1}`, `{"warm_wall_ms":9.9,"wall_ms":0,"a":1}`},
+		{`{"wall_ms":7,"restore_wall_ms":3.3}`, `{"wall_ms":0,"restore_wall_ms":3.3}`},
+		// No wall_ms at all: byte-identical passthrough.
+		{`{"a":1,"b":"wall_ms"}`, `{"a":1,"b":"wall_ms"}`},
+		// Multi-line JSON-lines blob.
+		{"{\"wall_ms\":1}\n{\"wall_ms\":2}\n", "{\"wall_ms\":0}\n{\"wall_ms\":0}\n"},
+	}
+	for _, tc := range cases {
+		if got := MaskWallMS(tc.in); got != tc.want {
+			t.Errorf("MaskWallMS(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+		if got := MaskWallMS(MaskWallMS(tc.in)); got != tc.want {
+			t.Errorf("not idempotent on %s", tc.in)
+		}
+	}
+}
+
+// TestMaskWallMSRealRecord masks an actual encoded GridCellResult and
+// checks that decoding it back changes WallMS to 0 and nothing else.
+func TestMaskWallMSRealRecord(t *testing.T) {
+	r := GridCellResult{Index: 3, System: "SILO", Workload: "WebSearch", Override: "-",
+		Scale: 16, Windows: 8, Cycles: 1000, Retired: 1500, IPC: 1.5, WallMS: 123.456}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := MaskWallMS(string(b))
+	if strings.Contains(masked, "123.456") {
+		t.Fatalf("wall_ms survived: %s", masked)
+	}
+	var got GridCellResult
+	if err := json.Unmarshal([]byte(masked), &got); err != nil {
+		t.Fatalf("masked line no longer decodes: %v\n%s", err, masked)
+	}
+	r.WallMS = 0
+	if got != r {
+		t.Fatalf("masking changed more than wall_ms:\n masked %+v\n want  %+v", got, r)
+	}
+}

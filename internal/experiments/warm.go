@@ -11,6 +11,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/robust"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -78,6 +79,16 @@ func CheckpointKey(cfg core.Config, specs []workload.Spec, warmInstr int) string
 	return robust.Key(parts...)
 }
 
+// ScenarioCheckpointKey is CheckpointKey for scenario-driven cells: the
+// per-spec parts are replaced by the scenario digest, which already
+// content-hashes every client's specs, arrivals, core bindings, groups
+// and trace bytes. Equal digests mean identical compiled sources, so
+// equal keys again mean bit-identical warmed systems.
+func ScenarioCheckpointKey(cfg core.Config, scen *scenario.Scenario, warmInstr int) string {
+	return robust.Key(checkpoint.FormatTag, fmt.Sprintf("%+v", checkpointKeyConfig(cfg)),
+		"scenario", scen.Digest(), fmt.Sprint(warmInstr))
+}
+
 // CheckpointPath is the file a key maps to inside a checkpoint dir.
 func CheckpointPath(dir, key string) string {
 	return filepath.Join(dir, key+".ckpt")
@@ -112,6 +123,20 @@ func buildMeta(cfg core.Config, specs []workload.Spec, warmInstr int) string {
 	return string(b)
 }
 
+func buildScenarioMeta(cfg core.Config, scen *scenario.Scenario, warmInstr int) string {
+	m := checkpointMeta{
+		Kind:      cfg.Kind.String(),
+		Cores:     cfg.Cores,
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+		Workloads: []string{"scenario:" + scen.Name},
+		WarmInstr: warmInstr,
+		Created:   time.Now().Unix(),
+	}
+	b, _ := json.Marshal(m)
+	return string(b)
+}
+
 // buildWarm builds a system and brings it to the post-warm-up state:
 // restore from ckptDir on key hit, otherwise NewSystem + Prewarm +
 // WarmFunctional (and a best-effort checkpoint save when ckptDir is
@@ -119,11 +144,53 @@ func buildMeta(cfg core.Config, specs []workload.Spec, warmInstr int) string {
 // mode — missing file, torn file, flipped byte, stale version, foreign
 // key, geometry mismatch — falls back to the from-scratch path.
 func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir string, cs *CheckpointStats, ph *phaseTracker) (*core.System, WarmInfo) {
+	return buildWarmKeyed(
+		func() string { return CheckpointKey(cfg, specs, warmInstr) },
+		func() string { return buildMeta(cfg, specs, warmInstr) },
+		func() *core.System { return core.NewSystem(cfg, specs) },
+		func(r *checkpoint.Reader) (*core.System, error) { return core.NewSystemFromCheckpoint(cfg, specs, r) },
+		warmInstr, ckptDir, cs, ph)
+}
+
+// buildWarmScenario is buildWarm for a scenario-driven cell: the specs
+// come compiled as per-core sources. Sources compilation is a pure
+// function of (scenario, cores, scale, seed), so the restore path and
+// the cold path each compile a fresh source set — a restore that fails
+// partway must not leak half-restored source state into the fallback
+// cold build.
+func buildWarmScenario(cfg core.Config, scen *scenario.Scenario, warmInstr int, ckptDir string, cs *CheckpointStats, ph *phaseTracker) (*core.System, WarmInfo) {
+	compile := func() []workload.Source {
+		srcs, err := scen.Sources(cfg.Cores, cfg.Scale, cfg.Seed)
+		if err != nil {
+			// Reachable only through a mis-shaped (system, scenario)
+			// pairing; the CLI validates before sweeping, so this is the
+			// internal-invariant path and panics like other cell failures.
+			panic(err.Error())
+		}
+		return srcs
+	}
+	return buildWarmKeyed(
+		func() string { return ScenarioCheckpointKey(cfg, scen, warmInstr) },
+		func() string { return buildScenarioMeta(cfg, scen, warmInstr) },
+		func() *core.System { return core.NewSystemFromSources(cfg, compile()) },
+		func(r *checkpoint.Reader) (*core.System, error) {
+			return core.NewSystemFromCheckpointSources(cfg, compile(), r)
+		},
+		warmInstr, ckptDir, cs, ph)
+}
+
+// buildWarmKeyed is the shared warm-or-restore engine behind buildWarm
+// and buildWarmScenario: key and meta derivation, cold construction and
+// checkpoint restore are injected; the locking, fallback and
+// best-effort-save policy live here once.
+func buildWarmKeyed(deriveKey, deriveMeta func() string, build func() *core.System,
+	restore func(*checkpoint.Reader) (*core.System, error),
+	warmInstr int, ckptDir string, cs *CheckpointStats, ph *phaseTracker) (*core.System, WarmInfo) {
 	var info WarmInfo
 	t0 := time.Now()
 	var key, path string
 	if ckptDir != "" {
-		key = CheckpointKey(cfg, specs, warmInstr)
+		key = deriveKey()
 		path = CheckpointPath(ckptDir, key)
 		ph.set("restore")
 		// Shared dir lock for the whole restore: a concurrent
@@ -136,7 +203,7 @@ func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir st
 			unlock = func() {}
 		}
 		if r, err := checkpoint.Open(path, key); err == nil {
-			sys, rerr := core.NewSystemFromCheckpoint(cfg, specs, r)
+			sys, rerr := restore(r)
 			r.Close()
 			if rerr == nil {
 				unlock()
@@ -156,7 +223,7 @@ func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir st
 	}
 
 	ph.set("build")
-	sys := core.NewSystem(cfg, specs)
+	sys := build()
 	ph.set("prewarm")
 	sys.Prewarm()
 	ph.set("warm")
@@ -176,7 +243,7 @@ func buildWarm(cfg core.Config, specs []workload.Spec, warmInstr int, ckptDir st
 		if unlock, lerr := checkpoint.LockDirShared(ckptDir); lerr == nil {
 			defer unlock()
 		}
-		meta := buildMeta(cfg, specs, warmInstr)
+		meta := deriveMeta()
 		if err := checkpoint.Save(path, key, meta, sys.Checkpoint); err != nil {
 			if cs != nil {
 				cs.SaveErrs.Add(1)

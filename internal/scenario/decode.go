@@ -1,0 +1,444 @@
+package scenario
+
+// Spec-file decoding. Scenario files are YAML-ish or JSON; the repo
+// takes no dependencies, so instead of a YAML library this file
+// implements the small subset the scenario grammar needs — block
+// mappings and sequences by indentation, single-line flow lists/maps,
+// quoted scalars, comments — plus JSON (sniffed by a leading '{' and
+// handed to encoding/json). Both decoders produce the same generic
+// tree: map[string]any, []any, and raw-string scalars; the typed
+// extraction layer in scenario.go converts and validates with
+// path-named errors.
+//
+// The decoder is a parser-hardening surface (it eats untrusted files
+// and is fuzzed): every malformed input must return an error naming
+// the line, never panic, and inputs are bounded in size, line count
+// and nesting depth.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+const (
+	// maxSpecBytes bounds a scenario file.
+	maxSpecBytes = 1 << 20
+	// maxSpecLines bounds the YAML line count.
+	maxSpecLines = 20000
+	// maxSpecDepth bounds nesting (block + flow) in both decoders.
+	maxSpecDepth = 32
+)
+
+// decodeTree parses a scenario document into the generic tree. A
+// document whose first non-space byte is '{' is JSON; anything else is
+// the YAML subset.
+func decodeTree(data []byte) (any, error) {
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("scenario: spec file is %d bytes, over the %d limit", len(data), maxSpecBytes)
+	}
+	if t := bytes.TrimLeft(data, " \t\r\n"); len(t) > 0 && t[0] == '{' {
+		return decodeJSON(data)
+	}
+	return decodeYAML(string(data))
+}
+
+// decodeJSON parses a JSON document and converts scalars to the raw
+// strings the extraction layer expects.
+func decodeJSON(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("scenario: json: %v", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("scenario: json: trailing content after the document")
+	}
+	return fromJSON(v, 0)
+}
+
+func fromJSON(v any, depth int) (any, error) {
+	if depth > maxSpecDepth {
+		return nil, fmt.Errorf("scenario: json nested deeper than %d", maxSpecDepth)
+	}
+	switch t := v.(type) {
+	case map[string]any:
+		m := make(map[string]any, len(t))
+		for k, e := range t {
+			c, err := fromJSON(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[k] = c
+		}
+		return m, nil
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			c, err := fromJSON(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	case string:
+		return t, nil
+	case json.Number:
+		return t.String(), nil
+	case bool:
+		return strconv.FormatBool(t), nil
+	case nil:
+		return "", nil
+	default:
+		return nil, fmt.Errorf("scenario: json value %T unsupported", v)
+	}
+}
+
+// yline is one non-blank, comment-stripped source line.
+type yline struct {
+	indent int
+	text   string
+	no     int // 1-based source line
+}
+
+type yamlParser struct {
+	lines []yline
+	pos   int
+}
+
+// decodeYAML parses the YAML subset.
+func decodeYAML(src string) (any, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(src, "\n") {
+		no := i + 1
+		line := strings.TrimRight(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("scenario: line %d: tab in indentation (use spaces)", no)
+		}
+		txt := strings.TrimRight(stripComment(line[indent:]), " \t")
+		if txt == "" {
+			continue
+		}
+		if len(p.lines) >= maxSpecLines {
+			return nil, fmt.Errorf("scenario: more than %d lines", maxSpecLines)
+		}
+		p.lines = append(p.lines, yline{indent, txt, no})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("scenario: empty document")
+	}
+	v, err := p.node(p.lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("scenario: line %d: content %q outside the document structure", l.no, l.text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment: a '#' outside quotes at the
+// start of the text or preceded by whitespace.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inS:
+			if c == '\'' {
+				inS = false
+			}
+		case inD:
+			if c == '"' {
+				inD = false
+			}
+		case c == '\'':
+			inS = true
+		case c == '"':
+			inD = true
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// node parses the block value starting at the current line, which sits
+// at the given indent.
+func (p *yamlParser) node(indent, depth int) (any, error) {
+	if depth > maxSpecDepth {
+		return nil, fmt.Errorf("scenario: line %d: nested deeper than %d", p.lines[p.pos].no, maxSpecDepth)
+	}
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.seq(indent, depth)
+	}
+	return p.mapping(indent, depth)
+}
+
+// mapping parses `key: value` lines at exactly this indent.
+func (p *yamlParser) mapping(indent, depth int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("scenario: line %d: unexpected indent", l.no)
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("scenario: line %d: sequence item inside a mapping", l.no)
+		}
+		key, rest, err := splitKey(l.text, l.no)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("scenario: line %d: duplicate key %q", l.no, key)
+		}
+		p.pos++
+		if rest == "" {
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("scenario: line %d: key %q has no value", l.no, key)
+			}
+			v, err := p.node(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			v, err := parseInline(rest, l.no, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+	}
+	return m, nil
+}
+
+// seq parses `- item` lines at exactly this indent. An item carrying
+// `key: value` text opens a mapping whose keys align under the item's
+// first key (the line is re-entered as a mapping line at that column).
+func (p *yamlParser) seq(indent, depth int) (any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("scenario: line %d: unexpected indent", l.no)
+			}
+			break
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			break
+		}
+		rest := strings.TrimLeft(l.text[1:], " ")
+		switch {
+		case rest == "":
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("scenario: line %d: empty sequence item", l.no)
+			}
+			v, err := p.node(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isMapEntry(rest):
+			p.lines[p.pos] = yline{indent + (len(l.text) - len(rest)), rest, l.no}
+			v, err := p.mapping(indent+(len(l.text)-len(rest)), depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			p.pos++
+			v, err := parseInline(rest, l.no, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// isMapEntry reports whether a sequence item's text is a `key: value`
+// mapping entry rather than a scalar or flow value.
+func isMapEntry(s string) bool {
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") {
+		return false
+	}
+	_, _, err := splitKey(s, 0)
+	return err == nil
+}
+
+// splitKey splits `key: rest` at the first top-level ':' followed by a
+// space or end of line.
+func splitKey(text string, no int) (key, rest string, err error) {
+	inS, inD := false, false
+	depth := 0
+	for i := 0; i < len(text); i++ {
+		switch c := text[i]; {
+		case inS:
+			if c == '\'' {
+				inS = false
+			}
+		case inD:
+			if c == '"' {
+				inD = false
+			}
+		case c == '\'':
+			inS = true
+		case c == '"':
+			inD = true
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ':' && depth == 0 && (i+1 == len(text) || text[i+1] == ' '):
+			key, err := unquoteScalar(strings.TrimSpace(text[:i]), no)
+			if err != nil {
+				return "", "", err
+			}
+			if key == "" {
+				return "", "", fmt.Errorf("scenario: line %d: empty key", no)
+			}
+			return key, strings.TrimSpace(text[i+1:]), nil
+		}
+	}
+	return "", "", fmt.Errorf("scenario: line %d: %q is not `key: value`", no, text)
+}
+
+// parseInline parses a single-line value: a flow list, a flow map, or
+// a scalar.
+func parseInline(s string, no, depth int) (any, error) {
+	if depth > maxSpecDepth {
+		return nil, fmt.Errorf("scenario: line %d: nested deeper than %d", no, maxSpecDepth)
+	}
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "["):
+		items, err := splitFlow(s, no)
+		if err != nil {
+			return nil, err
+		}
+		out := []any{}
+		for _, it := range items {
+			v, err := parseInline(it, no, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{"):
+		items, err := splitFlow(s, no)
+		if err != nil {
+			return nil, err
+		}
+		m := map[string]any{}
+		for _, it := range items {
+			key, rest, err := splitKey(it, no)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := m[key]; dup {
+				return nil, fmt.Errorf("scenario: line %d: duplicate key %q", no, key)
+			}
+			v, err := parseInline(rest, no, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+		return m, nil
+	default:
+		return unquoteScalar(s, no)
+	}
+}
+
+// splitFlow splits the contents of a `[...]` or `{...}` flow value at
+// its top-level commas.
+func splitFlow(s string, no int) ([]string, error) {
+	open, close_ := s[0], byte(']')
+	if open == '{' {
+		close_ = '}'
+	}
+	inS, inD := false, false
+	depth := 0
+	start := 1
+	var items []string
+	push := func(end int) {
+		if it := strings.TrimSpace(s[start:end]); it != "" {
+			items = append(items, it)
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inS:
+			if c == '\'' {
+				inS = false
+			}
+		case inD:
+			if c == '"' {
+				inD = false
+			}
+		case c == '\'':
+			inS = true
+		case c == '"':
+			inD = true
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+			if depth == 0 {
+				if c != close_ {
+					return nil, fmt.Errorf("scenario: line %d: %q closed by %q", no, open, c)
+				}
+				if strings.TrimSpace(s[i+1:]) != "" {
+					return nil, fmt.Errorf("scenario: line %d: content after %q", no, close_)
+				}
+				push(i)
+				return items, nil
+			}
+		case c == ',' && depth == 1:
+			push(i)
+		}
+	}
+	return nil, fmt.Errorf("scenario: line %d: unterminated %q", no, open)
+}
+
+// unquoteScalar strips matching quotes from a scalar, or returns it
+// raw.
+func unquoteScalar(s string, no int) (string, error) {
+	switch {
+	case strings.HasPrefix(s, `"`):
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return "", fmt.Errorf("scenario: line %d: bad quoted string %s", no, s)
+		}
+		return v, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return "", fmt.Errorf("scenario: line %d: unterminated '", no)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	default:
+		return s, nil
+	}
+}

@@ -1,0 +1,701 @@
+// Package scenario compiles declarative workload/scenario spec files
+// (DESIGN.md §14) into the per-core workload.Source list a simulated
+// system consumes. A scenario names multiple clients sharing one
+// machine — the consolidation setting the paper's private die-stacked
+// hierarchy targets — each binding either a synthetic workload (a
+// preset Spec, optionally phased through an arrival schedule that
+// varies MemRatio and footprints over time windows) or a recorded
+// address trace, placed on a set of cores and in a sharing group.
+// Clients in one group genuinely share an address space (their
+// RW-shared pools and remote-secondary slices interleave); distinct
+// groups are isolated by the workload.GroupOffset address shift.
+//
+// Determinism: compilation is a pure function of the file bytes (plus
+// referenced trace bytes), and every stochastic choice downstream —
+// phase durations, stream draws — comes from seeded RNG forks, so the
+// repo's bit-identity contracts extend to spec-driven runs. Digest()
+// content-hashes the compiled scenario; checkpoint keys, sweep journal
+// keys and distributed-shard cross-checks all incorporate it.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/robust"
+	"repro/internal/workload"
+)
+
+// Resolver maps a workload preset name to its Spec. The experiments
+// package passes its catalog lookup; tests pass stubs. (The indirection
+// keeps this package free of a dependency on the catalog's owner.)
+type Resolver func(name string) (workload.Spec, error)
+
+// TraceLoader reads the bytes of a trace referenced by a spec file.
+// Load resolves references relative to the spec file's directory.
+type TraceLoader func(ref string) ([]byte, error)
+
+// maxClients bounds the client list; maxTraceBytes bounds one
+// referenced trace file.
+const (
+	maxClients    = 64
+	maxTraceBytes = 64 << 20
+)
+
+// digestSalt versions the scenario digest scheme. Bump on any change
+// that alters what a compiled scenario means (it invalidates warm
+// checkpoints and sweep journal entries for scenario cells).
+const digestSalt = "scenario-v1"
+
+// Scenario is a compiled spec file.
+type Scenario struct {
+	Name    string
+	Clients []Client
+	digest  string
+}
+
+// Client is one workload consumer in the scenario.
+type Client struct {
+	ID     string
+	Cores  CoreSel
+	Group  int
+	Phases []workload.Phase // synthetic clients (nil for trace clients)
+	Trace  *Trace           // replay clients (nil for synthetic clients)
+}
+
+// Trace is a loaded recorded-trace binding.
+type Trace struct {
+	Ref  string // the spec file's reference, for messages
+	Name string // embedded workload name
+	MLP  int
+	Ops  []workload.Op
+	sha  string // content hash of the raw trace bytes
+}
+
+// Digest returns the scenario's content hash: the salt, the name, and
+// every client's identity — core selection, group, full phase specs
+// and arrival processes, trace content hashes. Equal digests mean the
+// compiled per-core sources are identical.
+func (s *Scenario) Digest() string { return s.digest }
+
+// CoreSel is a client's core binding, kept in its textual form (the
+// digest covers it) plus the parsed selection.
+type CoreSel struct {
+	raw  string
+	kind selKind
+	n    int   // count / range lo
+	hi   int   // range hi
+	list []int // explicit list, sorted
+}
+
+type selKind uint8
+
+const (
+	selCount selKind = iota // "4": the next n unassigned cores
+	selRange                // "2-5": inclusive core range
+	selList                 // "[0, 2, 5]": explicit cores
+	selRest                 // "rest": every core left over
+)
+
+func (c CoreSel) String() string { return c.raw }
+
+// Load reads and compiles a scenario spec file, resolving trace
+// references relative to the file's directory.
+func Load(path string, resolve Resolver) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	dir := filepath.Dir(path)
+	s, err := Parse(data, resolve, func(ref string) ([]byte, error) {
+		if !filepath.IsAbs(ref) {
+			ref = filepath.Join(dir, ref)
+		}
+		return os.ReadFile(ref)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// Parse compiles a scenario document. Every malformed input returns an
+// error naming the offending path or line; nothing panics on bad
+// bytes (the decoder and this layer are fuzzed together).
+func Parse(data []byte, resolve Resolver, traces TraceLoader) (*Scenario, error) {
+	if resolve == nil {
+		return nil, fmt.Errorf("scenario: nil workload resolver")
+	}
+	tree, err := decodeTree(data)
+	if err != nil {
+		return nil, err
+	}
+	root := node{"scenario", tree}
+	rm, err := root.mapping("name", "clients")
+	if err != nil {
+		return nil, err
+	}
+	s := &Scenario{}
+	if s.Name, err = rm.str("name", true); err != nil {
+		return nil, err
+	}
+	if len(s.Name) > 128 {
+		return nil, fmt.Errorf("scenario: name %q over 128 bytes", s.Name[:32]+"…")
+	}
+	clients, err := rm.list("clients")
+	if err != nil {
+		return nil, err
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("scenario: clients list is empty")
+	}
+	if len(clients) > maxClients {
+		return nil, fmt.Errorf("scenario: %d clients over the %d limit", len(clients), maxClients)
+	}
+	ids := map[string]bool{}
+	groupsUsed := map[int]bool{}
+	var defaulted []int // client indices needing an auto group
+	for i, cn := range clients {
+		cl, hasGroup, err := parseClient(cn, resolve, traces)
+		if err != nil {
+			return nil, err
+		}
+		if ids[cl.ID] {
+			return nil, fmt.Errorf("scenario: duplicate client id %q", cl.ID)
+		}
+		ids[cl.ID] = true
+		if hasGroup {
+			groupsUsed[cl.Group] = true
+		} else {
+			defaulted = append(defaulted, i)
+		}
+		s.Clients = append(s.Clients, cl)
+	}
+	// Auto groups: clients without an explicit group each get their own
+	// fresh group (no accidental sharing), drawn from the smallest ids
+	// no explicit client claimed.
+	next := 0
+	for _, i := range defaulted {
+		for next < workload.MaxGroups && groupsUsed[next] {
+			next++
+		}
+		if next >= workload.MaxGroups {
+			return nil, fmt.Errorf("scenario: client %q needs a sharing group but all %d are taken — set group: explicitly",
+				s.Clients[i].ID, workload.MaxGroups)
+		}
+		s.Clients[i].Group = next
+		groupsUsed[next] = true
+	}
+	s.digest = s.computeDigest()
+	return s, nil
+}
+
+func (s *Scenario) computeDigest() string {
+	parts := []string{digestSalt, s.Name}
+	for i, cl := range s.Clients {
+		parts = append(parts, fmt.Sprintf("client %d id=%s cores=%s group=%d", i, cl.ID, cl.Cores.raw, cl.Group))
+		if cl.Trace != nil {
+			parts = append(parts, fmt.Sprintf("trace name=%s mlp=%d ops=%d sha=%s",
+				cl.Trace.Name, cl.Trace.MLP, len(cl.Trace.Ops), cl.Trace.sha))
+		}
+		for _, ph := range cl.Phases {
+			parts = append(parts, fmt.Sprintf("%+v|%+v", ph.Spec, ph.Arrival))
+		}
+	}
+	return robust.Key(parts...)
+}
+
+// clientKeys: the phase-tuning keys (workload, mem_ratio, ...) are
+// legal at client level only for the single-phase shorthand.
+var phaseTuneKeys = []string{"workload", "mem_ratio", "mem_ratio_scale", "footprint_scale", "arrival"}
+
+func parseClient(n node, resolve Resolver, traces TraceLoader) (Client, bool, error) {
+	keys := append([]string{"id", "cores", "group", "trace", "phases"}, phaseTuneKeys...)
+	m, err := n.mapping(keys...)
+	if err != nil {
+		return Client{}, false, err
+	}
+	var cl Client
+	if cl.ID, err = m.str("id", true); err != nil {
+		return Client{}, false, err
+	}
+	cn, ok := m.get("cores")
+	if !ok {
+		return Client{}, false, fmt.Errorf("scenario: %s: missing key %q", n.path, "cores")
+	}
+	if cl.Cores, err = parseCoreSel(cn); err != nil {
+		return Client{}, false, err
+	}
+	hasGroup := false
+	if gn, ok := m.get("group"); ok {
+		hasGroup = true
+		g, err := gn.intval(0, workload.MaxGroups-1)
+		if err != nil {
+			return Client{}, false, err
+		}
+		cl.Group = g
+	}
+
+	_, hasTrace := m.get("trace")
+	_, hasPhases := m.get("phases")
+	_, hasWorkload := m.get("workload")
+	bindings := 0
+	for _, b := range []bool{hasTrace, hasPhases, hasWorkload} {
+		if b {
+			bindings++
+		}
+	}
+	if bindings != 1 {
+		return Client{}, false, fmt.Errorf("scenario: %s: a client binds exactly one of workload, phases or trace", n.path)
+	}
+	// Phase-tuning keys make sense only alongside the workload
+	// shorthand; with phases: they belong inside each phase, and a
+	// trace has no generator to tune.
+	if !hasWorkload {
+		for _, k := range phaseTuneKeys {
+			if _, ok := m.get(k); ok && k != "workload" {
+				return Client{}, false, fmt.Errorf("scenario: %s: key %q is only valid with the single-workload form (put it inside a phase)", n.path, k)
+			}
+		}
+	}
+
+	switch {
+	case hasTrace:
+		ref, err := m.str("trace", true)
+		if err != nil {
+			return Client{}, false, err
+		}
+		if traces == nil {
+			return Client{}, false, fmt.Errorf("scenario: %s: trace %q referenced but no trace loader provided", n.path, ref)
+		}
+		raw, err := traces(ref)
+		if err != nil {
+			return Client{}, false, fmt.Errorf("scenario: %s: trace %q: %v", n.path, ref, err)
+		}
+		if len(raw) > maxTraceBytes {
+			return Client{}, false, fmt.Errorf("scenario: %s: trace %q is %d bytes, over the %d limit", n.path, ref, len(raw), maxTraceBytes)
+		}
+		name, mlp, ops, err := workload.ReadTrace(strings.NewReader(string(raw)))
+		if err != nil {
+			return Client{}, false, fmt.Errorf("scenario: %s: trace %q: %v", n.path, ref, err)
+		}
+		sum := sha256.Sum256(raw)
+		cl.Trace = &Trace{Ref: ref, Name: name, MLP: mlp, Ops: ops, sha: hex.EncodeToString(sum[:])}
+	case hasPhases:
+		pl, err := m.list("phases")
+		if err != nil {
+			return Client{}, false, err
+		}
+		if len(pl) == 0 {
+			return Client{}, false, fmt.Errorf("scenario: %s.phases: empty phase list", n.path)
+		}
+		for _, pn := range pl {
+			ph, err := parsePhase(pn, resolve, len(pl) > 1, false)
+			if err != nil {
+				return Client{}, false, err
+			}
+			cl.Phases = append(cl.Phases, ph)
+		}
+		// cpu.Core sizes its MLP window once at construction, so a
+		// client's phases must agree on it.
+		for _, ph := range cl.Phases[1:] {
+			if ph.Spec.MLP != cl.Phases[0].Spec.MLP {
+				return Client{}, false, fmt.Errorf("scenario: %s: phases mix MLP %d and %d — a client's MLP is fixed at construction",
+					n.path, cl.Phases[0].Spec.MLP, ph.Spec.MLP)
+			}
+		}
+	default: // single-workload shorthand: the client map doubles as its one phase
+		ph, err := parsePhase(n, resolve, false, true)
+		if err != nil {
+			return Client{}, false, err
+		}
+		cl.Phases = []workload.Phase{ph}
+	}
+	return cl, hasGroup, nil
+}
+
+// parsePhase compiles one phase: a preset workload, optional tuning
+// overrides, and the arrival process governing the phase's length in
+// generated ops. requireArrival is set for multi-phase lists, where a
+// missing duration is almost certainly a mistake; the single-phase
+// shorthand defaults to one effectively infinite fixed phase.
+// shorthand widens the allowed keys to the client map's (the client
+// node doubles as its one phase there); a node inside phases: takes
+// only the tuning keys.
+func parsePhase(n node, resolve Resolver, requireArrival, shorthand bool) (workload.Phase, error) {
+	allowed := phaseTuneKeys
+	if shorthand {
+		allowed = append([]string{"id", "cores", "group", "trace", "phases"}, phaseTuneKeys...)
+	}
+	m, err := n.mapping(allowed...)
+	if err != nil {
+		return workload.Phase{}, err
+	}
+	wl, err := m.str("workload", true)
+	if err != nil {
+		return workload.Phase{}, err
+	}
+	sp, err := resolve(wl)
+	if err != nil {
+		return workload.Phase{}, fmt.Errorf("scenario: %s: %v", n.path, err)
+	}
+
+	_, hasRatio := m.get("mem_ratio")
+	_, hasRatioScale := m.get("mem_ratio_scale")
+	if hasRatio && hasRatioScale {
+		return workload.Phase{}, fmt.Errorf("scenario: %s: mem_ratio and mem_ratio_scale are mutually exclusive", n.path)
+	}
+	if hasRatio {
+		v, err := m.float("mem_ratio")
+		if err != nil {
+			return workload.Phase{}, err
+		}
+		sp.MemRatio = v
+	}
+	if hasRatioScale {
+		v, err := m.float("mem_ratio_scale")
+		if err != nil {
+			return workload.Phase{}, err
+		}
+		if !(v > 0) || v > 64 {
+			return workload.Phase{}, fmt.Errorf("scenario: %s.mem_ratio_scale: %v outside (0, 64]", n.path, v)
+		}
+		sp.MemRatio *= v
+	}
+	if _, ok := m.get("footprint_scale"); ok {
+		v, err := m.float("footprint_scale")
+		if err != nil {
+			return workload.Phase{}, err
+		}
+		if !(v > 0) || v > 4096 {
+			return workload.Phase{}, fmt.Errorf("scenario: %s.footprint_scale: %v outside (0, 4096]", n.path, v)
+		}
+		// Scales the LLC-relevant data working sets — the knob the
+		// paper's capacity-sensitivity axis turns.
+		sp.SecondaryWSS = int64(float64(sp.SecondaryWSS) * v)
+		sp.MiddleWSS = int64(float64(sp.MiddleWSS) * v)
+	}
+	if err := sp.Check(); err != nil {
+		return workload.Phase{}, fmt.Errorf("scenario: %s: %v", n.path, err)
+	}
+
+	arr := workload.Arrival{Process: workload.ArrivalFixed, MeanOps: float64(uint64(1) << 60)}
+	if an, ok := m.get("arrival"); ok {
+		if arr, err = parseArrival(an); err != nil {
+			return workload.Phase{}, err
+		}
+	} else if requireArrival {
+		return workload.Phase{}, fmt.Errorf("scenario: %s: a multi-phase client needs arrival: on every phase", n.path)
+	}
+	return workload.Phase{Spec: sp, Arrival: arr}, nil
+}
+
+func parseArrival(n node) (workload.Arrival, error) {
+	m, err := n.mapping("process", "mean_ops", "cv", "shape")
+	if err != nil {
+		return workload.Arrival{}, err
+	}
+	var a workload.Arrival
+	if a.Process, err = m.str("process", false); err != nil {
+		return workload.Arrival{}, err
+	}
+	if _, ok := m.get("mean_ops"); !ok {
+		return workload.Arrival{}, fmt.Errorf("scenario: %s: missing key %q", n.path, "mean_ops")
+	}
+	if a.MeanOps, err = m.float("mean_ops"); err != nil {
+		return workload.Arrival{}, err
+	}
+	if _, ok := m.get("cv"); ok {
+		if a.CV, err = m.float("cv"); err != nil {
+			return workload.Arrival{}, err
+		}
+	}
+	if _, ok := m.get("shape"); ok {
+		if a.Shape, err = m.float("shape"); err != nil {
+			return workload.Arrival{}, err
+		}
+	}
+	if err := a.Check(); err != nil {
+		return workload.Arrival{}, fmt.Errorf("scenario: %s: %v", n.path, err)
+	}
+	return a, nil
+}
+
+func parseCoreSel(n node) (CoreSel, error) {
+	if l, ok := n.v.([]any); ok {
+		list := make([]int, 0, len(l))
+		for i, e := range l {
+			v, err := node{fmt.Sprintf("%s[%d]", n.path, i), e}.intval(0, 1<<20)
+			if err != nil {
+				return CoreSel{}, err
+			}
+			list = append(list, v)
+		}
+		if len(list) == 0 {
+			return CoreSel{}, fmt.Errorf("scenario: %s: empty core list", n.path)
+		}
+		sort.Ints(list)
+		for i := 1; i < len(list); i++ {
+			if list[i] == list[i-1] {
+				return CoreSel{}, fmt.Errorf("scenario: %s: core %d listed twice", n.path, list[i])
+			}
+		}
+		strs := make([]string, len(list))
+		for i, c := range list {
+			strs[i] = strconv.Itoa(c)
+		}
+		return CoreSel{raw: "[" + strings.Join(strs, ",") + "]", kind: selList, list: list}, nil
+	}
+	s, err := n.scalar(true)
+	if err != nil {
+		return CoreSel{}, fmt.Errorf("scenario: %s: cores wants a count, a lo-hi range, a [list], or rest", n.path)
+	}
+	if s == "rest" {
+		return CoreSel{raw: "rest", kind: selRest}, nil
+	}
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		l, err1 := strconv.Atoi(lo)
+		h, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || l < 0 || h < l {
+			return CoreSel{}, fmt.Errorf("scenario: %s: bad core range %q (want lo-hi with 0 <= lo <= hi)", n.path, s)
+		}
+		return CoreSel{raw: s, kind: selRange, n: l, hi: h}, nil
+	}
+	cnt, err := strconv.Atoi(s)
+	if err != nil || cnt <= 0 {
+		return CoreSel{}, fmt.Errorf("scenario: %s: bad cores value %q (want a positive count, lo-hi, a [list], or rest)", n.path, s)
+	}
+	return CoreSel{raw: s, kind: selCount, n: cnt}, nil
+}
+
+// resolve claims this selection's cores from the unassigned set.
+func (c CoreSel) resolve(ncores int, assigned []bool) ([]int, error) {
+	claim := func(cores []int) ([]int, error) {
+		for _, i := range cores {
+			if i >= ncores {
+				return nil, fmt.Errorf("core %d outside the system's [0,%d)", i, ncores)
+			}
+			if assigned[i] {
+				return nil, fmt.Errorf("core %d assigned twice", i)
+			}
+			assigned[i] = true
+		}
+		return cores, nil
+	}
+	switch c.kind {
+	case selList:
+		return claim(slices.Clone(c.list))
+	case selRange:
+		cores := make([]int, 0, c.hi-c.n+1)
+		for i := c.n; i <= c.hi; i++ {
+			cores = append(cores, i)
+		}
+		return claim(cores)
+	case selCount:
+		var cores []int
+		for i := 0; i < ncores && len(cores) < c.n; i++ {
+			if !assigned[i] {
+				cores = append(cores, i)
+				assigned[i] = true
+			}
+		}
+		if len(cores) < c.n {
+			return nil, fmt.Errorf("wants %d cores but only %d are unassigned", c.n, len(cores))
+		}
+		return cores, nil
+	default: // selRest
+		var cores []int
+		for i := 0; i < ncores; i++ {
+			if !assigned[i] {
+				cores = append(cores, i)
+				assigned[i] = true
+			}
+		}
+		if len(cores) == 0 {
+			return nil, fmt.Errorf("rest selects no cores (everything is already assigned)")
+		}
+		return cores, nil
+	}
+}
+
+// Sources compiles the scenario for a system of ncores cores into the
+// per-core source list core.NewSystemFromSources consumes. Clients
+// claim cores in declaration order and together must cover [0,ncores)
+// exactly once. Within a sharing group, each core's stream is indexed
+// by its rank in the group's core union (size = the union), so
+// remote-secondary and RW-shared traffic interleaves across the
+// group's clients; all cores of one client share its phase-duration
+// RNG (phaseSeq = client index), so the client changes phase as a
+// unit. The result is a pure function of (scenario, ncores, scale,
+// seed) — the property scenario checkpoint restore rests on.
+func (s *Scenario) Sources(ncores int, scale int64, seed uint64) ([]workload.Source, error) {
+	if ncores <= 0 {
+		return nil, fmt.Errorf("scenario %s: %d cores", s.Name, ncores)
+	}
+	assigned := make([]bool, ncores)
+	owner := make([]int, ncores)
+	clientCores := make([][]int, len(s.Clients))
+	for ci := range s.Clients {
+		cl := &s.Clients[ci]
+		cores, err := cl.Cores.resolve(ncores, assigned)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: client %s (cores: %s): %v", s.Name, cl.ID, cl.Cores.raw, err)
+		}
+		clientCores[ci] = cores
+		for _, c := range cores {
+			owner[c] = ci
+		}
+	}
+	for i, a := range assigned {
+		if !a {
+			return nil, fmt.Errorf("scenario %s: core %d is bound to no client (with %d cores, selections must cover every core)", s.Name, i, ncores)
+		}
+	}
+
+	// Group core unions, sorted: the address-map index space each
+	// group's streams share.
+	groupCores := map[int][]int{}
+	for c, ci := range owner {
+		g := s.Clients[ci].Group
+		groupCores[g] = append(groupCores[g], c) // ascending: c iterates in order
+	}
+	rankIn := func(cores []int, c int) int {
+		for r, v := range cores {
+			if v == c {
+				return r
+			}
+		}
+		panic("scenario: core missing from its own group")
+	}
+
+	sources := make([]workload.Source, ncores)
+	for c := 0; c < ncores; c++ {
+		ci := owner[c]
+		cl := &s.Clients[ci]
+		off := workload.GroupOffset(cl.Group)
+		if cl.Trace != nil {
+			// Stagger each core's replay cursor around the recording so a
+			// multi-core trace client doesn't hit identical addresses in
+			// lockstep.
+			mine := clientCores[ci]
+			start := len(cl.Trace.Ops) * rankIn(mine, c) / len(mine)
+			sources[c] = workload.NewTraceSource(cl.Trace.Name, cl.Trace.MLP, cl.Trace.Ops, off, start)
+			continue
+		}
+		gc := groupCores[cl.Group]
+		sources[c] = workload.NewPhased(cl.Phases, rankIn(gc, c), len(gc), scale, seed, uint64(ci), off)
+	}
+	return sources, nil
+}
+
+// node is one tree position with its path for error messages.
+type node struct {
+	path string
+	v    any
+}
+
+// mapnode wraps a mapping with its path.
+type mapnode struct {
+	path string
+	m    map[string]any
+}
+
+// mapping asserts the node is a mapping holding only allowed keys.
+func (n node) mapping(allowed ...string) (mapnode, error) {
+	m, ok := n.v.(map[string]any)
+	if !ok {
+		return mapnode{}, fmt.Errorf("scenario: %s: expected a mapping", n.path)
+	}
+	for k := range m {
+		if !slices.Contains(allowed, k) {
+			return mapnode{}, fmt.Errorf("scenario: %s: unknown key %q (want one of %s)", n.path, k, strings.Join(allowed, ", "))
+		}
+	}
+	return mapnode{n.path, m}, nil
+}
+
+func (m mapnode) get(key string) (node, bool) {
+	v, ok := m.m[key]
+	return node{m.path + "." + key, v}, ok
+}
+
+// list returns the named key as a list of nodes.
+func (m mapnode) list(key string) ([]node, error) {
+	n, ok := m.get(key)
+	if !ok {
+		return nil, fmt.Errorf("scenario: %s: missing key %q", m.path, key)
+	}
+	l, ok := n.v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: %s: expected a list", n.path)
+	}
+	out := make([]node, len(l))
+	for i, e := range l {
+		out[i] = node{fmt.Sprintf("%s[%d]", n.path, i), e}
+	}
+	return out, nil
+}
+
+// str returns the named key as a non-empty (when required) string; an
+// empty key name reads the node itself.
+func (m mapnode) str(key string, required bool) (string, error) {
+	n, ok := m.get(key)
+	if !ok {
+		if required {
+			return "", fmt.Errorf("scenario: %s: missing key %q", m.path, key)
+		}
+		return "", nil
+	}
+	return n.scalar(required)
+}
+
+func (n node) scalar(required bool) (string, error) {
+	s, ok := n.v.(string)
+	if !ok {
+		return "", fmt.Errorf("scenario: %s: expected a string", n.path)
+	}
+	if required && s == "" {
+		return "", fmt.Errorf("scenario: %s: empty value", n.path)
+	}
+	return s, nil
+}
+
+// float parses the named key as a finite float.
+func (m mapnode) float(key string) (float64, error) {
+	n, ok := m.get(key)
+	if !ok {
+		return 0, fmt.Errorf("scenario: %s: missing key %q", m.path, key)
+	}
+	s, ok := n.v.(string)
+	if !ok {
+		return 0, fmt.Errorf("scenario: %s: expected a number", n.path)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v != v {
+		return 0, fmt.Errorf("scenario: %s: %q is not a number", n.path, s)
+	}
+	return v, nil
+}
+
+// intval parses the node as an integer in [lo, hi].
+func (n node) intval(lo, hi int) (int, error) {
+	s, ok := n.v.(string)
+	if !ok {
+		return 0, fmt.Errorf("scenario: %s: expected an integer", n.path)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %s: %q is not an integer", n.path, s)
+	}
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("scenario: %s: %d outside [%d,%d]", n.path, v, lo, hi)
+	}
+	return v, nil
+}

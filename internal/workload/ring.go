@@ -8,7 +8,7 @@ import (
 
 // Off-thread trace generation (DESIGN.md §12). A Ring decouples a core's
 // trace generation from its timing simulation: a producer goroutine runs
-// Stream.NextBatch ahead of the consumer, publishing fixed-size op blocks
+// the Source's NextBatch ahead of the consumer, publishing fixed-size op blocks
 // through a bounded single-producer/single-consumer ring, and the consumer
 // (cpu.Core's batch refill, or the functional warm-up loop) takes whole
 // blocks zero-copy. The op sequence each consumer observes is identical to
@@ -31,7 +31,7 @@ const RingBlockOps = 64
 // without the buffers outgrowing the host caches at 16+ cores.
 const ringBlocks = 8
 
-// Ring is a bounded SPSC block ring over one Stream. Exactly one producer
+// Ring is a bounded SPSC block ring over one Source. Exactly one producer
 // goroutine (owned by a ProducerSet) publishes blocks and exactly one
 // consumer goroutine takes them; head counts blocks published, tail counts
 // blocks released, and the slot of block n is n mod ringBlocks. The
@@ -46,12 +46,12 @@ const ringBlocks = 8
 // goroutine). In the steady state neither side parks and a block handoff
 // costs two atomic ops and two failed non-blocking sends.
 type Ring struct {
-	stream *Stream
-	buf    []Op // ringBlocks x RingBlockOps, flat
-	blen   [ringBlocks]int32
-	data   chan struct{}   // cap 1; closed when the production budget is exhausted
-	space  chan struct{}   // cap 1; shared per producer goroutine
-	stop   <-chan struct{} // closed by ProducerSet.Close
+	src   Source
+	buf   []Op // ringBlocks x RingBlockOps, flat
+	blen  [ringBlocks]int32
+	data  chan struct{}   // cap 1; closed when the production budget is exhausted
+	space chan struct{}   // cap 1; shared per producer goroutine
+	stop  <-chan struct{} // closed by ProducerSet.Close
 
 	// Producer-confined state.
 	remaining int64 // ops left to produce; < 0 = unbounded
@@ -70,9 +70,9 @@ type Ring struct {
 	_    [56]byte
 }
 
-func newRing(st *Stream, budget int64, space chan struct{}, stop <-chan struct{}) *Ring {
+func newRing(src Source, budget int64, space chan struct{}, stop <-chan struct{}) *Ring {
 	return &Ring{
-		stream:    st,
+		src:       src,
 		buf:       make([]Op, ringBlocks*RingBlockOps),
 		data:      make(chan struct{}, 1),
 		space:     space,
@@ -118,7 +118,7 @@ func (c *Ring) NextBlock() []Op {
 
 // Drained reports whether every published block has been taken by the
 // consumer (the held block counts as taken). After a budgeted producer
-// has been joined with Wait, Drained means the stream is quiescent: its
+// has been joined with Wait, Drained means the source is quiescent: its
 // state reflects exactly the produced budget, so checkpoints may cut here
 // (the drain rule, DESIGN.md §12).
 func (c *Ring) Drained() bool {
@@ -148,7 +148,7 @@ func (c *Ring) fillOne() bool {
 		n = c.remaining
 	}
 	slot := h % ringBlocks
-	c.stream.NextBatch(c.buf[slot*RingBlockOps : int64(slot*RingBlockOps)+n])
+	c.src.NextBatch(c.buf[slot*RingBlockOps : int64(slot*RingBlockOps)+n])
 	c.blen[slot] = int32(n)
 	c.head.Store(h + 1)
 	if c.remaining > 0 {
@@ -166,7 +166,7 @@ func (c *Ring) fillOne() bool {
 	return true
 }
 
-// ProducerSet runs the producer goroutines feeding one ring per stream.
+// ProducerSet runs the producer goroutines feeding one ring per source.
 // Rings are assigned to goroutines round-robin (ring i to goroutine
 // i mod threads), each goroutine filling one block per non-full ring per
 // pass so its rings stay evenly ahead.
@@ -177,38 +177,38 @@ type ProducerSet struct {
 	wg    sync.WaitGroup
 }
 
-// StartProducers builds one ring per stream and starts threads producer
-// goroutines over them. budget >= 0 bounds the ops produced per stream
+// StartProducers builds one ring per source and starts threads producer
+// goroutines over them. budget >= 0 bounds the ops produced per source
 // (the functional warm-up contract: exactly budget ops, final block
 // possibly partial, after which the ring's data channel closes); budget
 // < 0 produces forever until Close. The caller must not touch the
-// streams until the set is joined (Wait or Close): the producers own the
+// sources until the set is joined (Wait or Close): the producers own the
 // generator state.
-func StartProducers(streams []*Stream, threads int, budget int64) *ProducerSet {
-	if len(streams) == 0 {
-		panic("workload: StartProducers with no streams")
+func StartProducers(sources []Source, threads int, budget int64) *ProducerSet {
+	if len(sources) == 0 {
+		panic("workload: StartProducers with no sources")
 	}
 	if threads < 1 {
 		panic(fmt.Sprintf("workload: StartProducers with %d threads", threads))
 	}
-	if threads > len(streams) {
-		threads = len(streams)
+	if threads > len(sources) {
+		threads = len(sources)
 	}
 	ps := &ProducerSet{
-		rings: make([]*Ring, len(streams)),
+		rings: make([]*Ring, len(sources)),
 		stop:  make(chan struct{}),
 	}
 	spaces := make([]chan struct{}, threads)
 	for t := range spaces {
 		spaces[t] = make(chan struct{}, 1)
 	}
-	for i, st := range streams {
-		ps.rings[i] = newRing(st, budget, spaces[i%threads], ps.stop)
+	for i, src := range sources {
+		ps.rings[i] = newRing(src, budget, spaces[i%threads], ps.stop)
 	}
 	ps.wg.Add(threads)
 	for t := 0; t < threads; t++ {
-		own := make([]*Ring, 0, (len(streams)+threads-1)/threads)
-		for i := t; i < len(streams); i += threads {
+		own := make([]*Ring, 0, (len(sources)+threads-1)/threads)
+		for i := t; i < len(sources); i += threads {
 			own = append(own, ps.rings[i])
 		}
 		go ps.produce(own, spaces[t])
@@ -216,7 +216,7 @@ func StartProducers(streams []*Stream, threads int, budget int64) *ProducerSet {
 	return ps
 }
 
-// Ring returns stream i's ring.
+// Ring returns source i's ring.
 func (ps *ProducerSet) Ring(i int) *Ring { return ps.rings[i] }
 
 // produce is one producer goroutine's loop: fill one block per owned ring

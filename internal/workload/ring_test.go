@@ -25,7 +25,7 @@ func drainRing(r *Ring, want int) []Op {
 func TestRingGoldenHash(t *testing.T) {
 	const want = uint64(0x680c5f7e54bf750b)
 	st := NewStream(WebSearch(), 2, 16, 32, 42)
-	ps := StartProducers([]*Stream{st}, 1, 100000)
+	ps := StartProducers([]Source{st}, 1, 100000)
 	defer ps.Close()
 	h := uint64(1469598103934665603) // FNV-64 offset basis
 	for _, op := range drainRing(ps.Ring(0), 100000) {
@@ -51,7 +51,7 @@ func TestRingMatchesSerial(t *testing.T) {
 	const cores = 5
 	for _, threads := range []int{1, 2, 3, 8} {
 		for _, budget := range []int{1, 63, 64, 65, 1000, 4097} {
-			ringStreams := make([]*Stream, cores)
+			ringStreams := make([]Source, cores)
 			serial := make([]*Stream, cores)
 			for c := 0; c < cores; c++ {
 				ringStreams[c] = NewStream(WebSearch(), c, cores, 16, 99)
@@ -87,7 +87,7 @@ func TestRingMatchesSerial(t *testing.T) {
 // deadlock.
 func TestRingConsumePastBudgetPanics(t *testing.T) {
 	st := NewStream(WebSearch(), 0, 1, 32, 7)
-	ps := StartProducers([]*Stream{st}, 1, 10)
+	ps := StartProducers([]Source{st}, 1, 10)
 	defer ps.Close()
 	drainRing(ps.Ring(0), 10)
 	defer func() {
@@ -125,8 +125,8 @@ func checkNoGoroutineLeak(t *testing.T) {
 // full ring), Close mid-consumption, and double Close — all without
 // leaking a goroutine.
 func TestRingProducerShutdown(t *testing.T) {
-	newStreams := func(n int) []*Stream {
-		sts := make([]*Stream, n)
+	newStreams := func(n int) []Source {
+		sts := make([]Source, n)
 		for c := range sts {
 			sts[c] = NewStream(WebSearch(), c, n, 32, 13)
 		}
@@ -151,7 +151,7 @@ func TestRingProducerShutdown(t *testing.T) {
 		checkNoGoroutineLeak(t)
 		ps := StartProducers(newStreams(2), 1, -1)
 		for i := 0; i < 50; i++ {
-			ps.Ring(i%2).NextBlock()
+			ps.Ring(i % 2).NextBlock()
 		}
 		ps.Close()
 		ps.Close() // idempotent
@@ -184,7 +184,7 @@ func TestRingConsumeAllocs(t *testing.T) {
 // number BENCH gen_overlap contextualizes.
 func BenchmarkRingConsume(b *testing.B) {
 	st := NewStream(WebSearch(), 0, 16, 32, 0x5EED)
-	ps := StartProducers([]*Stream{st}, 1, -1)
+	ps := StartProducers([]Source{st}, 1, -1)
 	defer ps.Close()
 	r := ps.Ring(0)
 	b.ResetTimer()

@@ -100,33 +100,70 @@ type Spec struct {
 	IndepProb float64
 }
 
-// Validate panics when the spec is internally inconsistent; it is called by
-// stream constructors so broken presets fail loudly.
-func (s *Spec) Validate() {
+// Check reports the first internal inconsistency as an error naming the
+// offending field, or nil. Beyond structural checks (footprints, MLP),
+// every fraction field is held to its domain and the data-region
+// fractions must sum to at most 1 — historically only the sum was
+// checked, so a preset or spec file with, say, a negative MiddleFrac or
+// a StoreFrac of 1.3 silently skewed the generated stream (the
+// threshold comparisons clamp rather than fail). Spec files arriving
+// from disk (internal/scenario) go through Check and surface the error;
+// compiled-in presets go through Validate and fail loudly.
+func (s *Spec) Check() error {
 	if s.Name == "" {
-		panic("workload: unnamed spec")
+		return fmt.Errorf("workload: unnamed spec")
 	}
-	if s.InstrFootprint < mem.LineSize || s.JumpEveryLines <= 0 {
-		panic(fmt.Sprintf("workload %s: bad instruction stream params", s.Name))
+	if s.InstrFootprint < mem.LineSize {
+		return fmt.Errorf("workload %s: InstrFootprint %d below one line", s.Name, s.InstrFootprint)
+	}
+	if s.JumpEveryLines <= 0 {
+		return fmt.Errorf("workload %s: JumpEveryLines %d must be positive", s.Name, s.JumpEveryLines)
 	}
 	if s.MemRatio <= 0 || s.MemRatio >= 1 {
-		panic(fmt.Sprintf("workload %s: MemRatio %v outside (0,1)", s.Name, s.MemRatio))
+		return fmt.Errorf("workload %s: MemRatio %v outside (0,1)", s.Name, s.MemRatio)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"StoreFrac", s.StoreFrac},
+		{"PrimaryFrac", s.PrimaryFrac},
+		{"MiddleFrac", s.MiddleFrac},
+		{"SecondaryFrac", s.SecondaryFrac},
+		{"ScanFrac", s.ScanFrac},
+		{"RemoteProb", s.RemoteProb},
+		{"RWSharedFrac", s.RWSharedFrac},
+		{"SharedWriteFrac", s.SharedWriteFrac},
+		{"IndepProb", s.IndepProb},
+	} {
+		if f.v < 0 || f.v > 1 || f.v != f.v {
+			return fmt.Errorf("workload %s: %s %v outside [0,1]", s.Name, f.name, f.v)
+		}
 	}
 	sum := s.PrimaryFrac + s.MiddleFrac + s.SecondaryFrac + s.RWSharedFrac
 	if sum > 1+1e-9 {
-		panic(fmt.Sprintf("workload %s: data fractions sum to %v > 1", s.Name, sum))
+		return fmt.Errorf("workload %s: data fractions sum to %v > 1", s.Name, sum)
 	}
 	if s.PrimaryWSS < mem.LineSize || s.SecondaryWSS < mem.LineSize {
-		panic(fmt.Sprintf("workload %s: degenerate working sets", s.Name))
+		return fmt.Errorf("workload %s: degenerate working sets (primary %d, secondary %d)", s.Name, s.PrimaryWSS, s.SecondaryWSS)
 	}
 	if s.MiddleFrac > 0 && s.MiddleWSS < mem.LineSize {
-		panic(fmt.Sprintf("workload %s: middle accesses without a middle set", s.Name))
+		return fmt.Errorf("workload %s: middle accesses without a middle set", s.Name)
 	}
 	if s.RWSharedFrac > 0 && s.SharedPool < mem.LineSize {
-		panic(fmt.Sprintf("workload %s: shared accesses without a pool", s.Name))
+		return fmt.Errorf("workload %s: shared accesses without a pool", s.Name)
 	}
 	if s.MLP <= 0 {
-		panic(fmt.Sprintf("workload %s: MLP must be positive", s.Name))
+		return fmt.Errorf("workload %s: MLP %d must be positive", s.Name, s.MLP)
+	}
+	return nil
+}
+
+// Validate panics when the spec is internally inconsistent; it is called by
+// stream constructors so broken presets fail loudly.
+func (s *Spec) Validate() {
+	if err := s.Check(); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -265,34 +302,46 @@ func NewStream(spec Spec, core, ncores int, scale int64, seed uint64) *Stream {
 	if scale <= 0 {
 		panic("workload: non-positive scale")
 	}
+	st := &Stream{
+		core:   core,
+		ncores: ncores,
+		scale:  scale,
+		rng:    sim.NewRNG(seed).Fork(uint64(core) + 1),
+	}
+	st.retune(spec)
+	// Stagger scan cursors so cores do not move in lockstep.
+	st.scanCursor = (st.secondary / int64(ncores)) * int64(core)
+	st.pc = instrBase + mem.Addr(st.rng.Uint64n(uint64(st.instrFP)))&^(mem.LineSize-1)
+	return st
+}
+
+// retune installs spec's derived parameters — scaled footprints,
+// probability thresholds, divisor reciprocals — leaving the mutable
+// walk state (rng, pc, cursors, generated) untouched. It is the shared
+// tail of NewStream and Retune; the comments inside predate the split
+// and still describe the draw-identity contract.
+func (st *Stream) retune(spec Spec) {
 	scaled := func(v int64) int64 {
-		s := v / scale
+		s := v / st.scale
 		if s < mem.LineSize {
 			s = mem.LineSize
 		}
 		// Round down to a whole number of lines.
 		return s &^ (mem.LineSize - 1)
 	}
-	st := &Stream{
-		spec:      spec,
-		core:      core,
-		ncores:    ncores,
-		scale:     scale,
-		rng:       sim.NewRNG(seed).Fork(uint64(core) + 1),
-		instrFP:   scaled(spec.InstrFootprint),
-		primary:   scaled(spec.PrimaryWSS),
-		secondary: scaled(spec.SecondaryWSS),
-	}
+	st.spec = spec
+	st.instrFP = scaled(spec.InstrFootprint)
+	st.primary = scaled(spec.PrimaryWSS)
+	st.secondary = scaled(spec.SecondaryWSS)
+	st.middle = 0
 	if spec.MiddleFrac > 0 {
 		st.middle = scaled(spec.MiddleWSS)
 	}
 	st.coldRegion = scaled(coldRegionBytes)
+	st.sharedPool = 0
 	if spec.RWSharedFrac > 0 {
 		st.sharedPool = scaled(spec.SharedPool)
 	}
-	// Stagger scan cursors so cores do not move in lockstep.
-	st.scanCursor = (st.secondary / int64(ncores)) * int64(core)
-	st.pc = instrBase + mem.Addr(st.rng.Uint64n(uint64(st.instrFP)))&^(mem.LineSize-1)
 
 	// The cumulative region splits reproduce nextData's historical
 	// `r < f1+f2+…` sums term for term, so the float rounding — and hence
@@ -328,10 +377,28 @@ func NewStream(spec Spec, core, ncores int, scale int64, seed uint64) *Stream {
 		st.sharedDiv = sim.NewDivisor(uint64(st.sharedPool))
 	}
 	st.coldDiv = sim.NewDivisor(uint64(st.coldRegion))
-	if ncores > 1 {
-		st.remoteDiv = sim.NewDivisor(uint64(ncores - 1))
+	if st.ncores > 1 {
+		st.remoteDiv = sim.NewDivisor(uint64(st.ncores - 1))
 	}
-	return st
+}
+
+// Retune re-parameterizes a live stream to a new spec — the phased-
+// scenario seam (DESIGN.md §14): a Phased wrapper switches its inner
+// stream's behaviour at deterministic op counts by swapping the derived
+// parameters while the walk state (RNG, PC, cursors, generation count)
+// carries over, the way a real application's phase change keeps its
+// code and data in place. Cursors that the new footprints leave out of
+// range are wrapped back in; the PC is clamped the same way so the
+// instruction walk stays inside the (possibly smaller) code footprint.
+func (st *Stream) Retune(spec Spec) {
+	spec.Validate()
+	st.retune(spec)
+	if st.scanCursor >= st.secondary {
+		st.scanCursor %= st.secondary
+	}
+	if off := int64(st.pc - instrBase); off < 0 || off >= st.instrFP {
+		st.pc = instrBase + mem.Addr(off%st.instrFP)&^(mem.LineSize-1)
+	}
 }
 
 // Spec returns the stream's workload spec.
